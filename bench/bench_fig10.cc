@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 10: the fraction of redundant instructions (repeated +
+ * derivable) that IR's non-speculative, operand-based test can
+ * capture. The paper's headline: 84-97%.
+ */
+
+#include "bench/bench_util.hh"
+#include "redundancy/redundancy.hh"
+
+using namespace vpir;
+using namespace vpir::bench;
+
+int
+main()
+{
+    banner("Figure 10", "amount of redundancy that can be reused");
+    WorkloadScale scale = benchScale();
+    uint64_t limit = benchInstLimit();
+
+    TextTable t({"bench", "redundant %", "reusable %",
+                 "reusable/redundant %"});
+    for (const auto &name : workloadNames()) {
+        Workload w = makeWorkload(name, scale);
+        RedundancyParams params;
+        params.maxInsts = limit;
+        RedundancyStats st = analyzeRedundancy(w.program, params);
+        double rp = static_cast<double>(st.resultProducing);
+        t.addRow({name,
+                  TextTable::num(pct(st.redundant(), rp), 1),
+                  TextTable::num(pct(st.reusable, rp), 1),
+                  TextTable::num(100.0 * st.reusableFraction(), 1)});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("paper's claim: \"most (84-97%%) of the redundant "
+                "instructions in programs\nare amenable to reuse\" — "
+                "detecting redundancy non-speculatively from\n"
+                "operands does not significantly restrict IR.\n");
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 5: resource contention (ready instructions denied execution
+ * resources / total requests), normalised to the base machine, for
+ * the four VP_Magic configurations and IR. The paper reports 0-cycle
+ * verification latency (1-cycle is similar); we print both halves'
+ * headline (0-cycle) series.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace vpir;
+using namespace vpir::bench;
+
+int
+main()
+{
+    banner("Figure 5", "resource contention normalised to base");
+    Runner runner;
+
+    TextTable t({"bench", "base", "ME-SB", "NME-SB", "ME-NSB",
+                 "NME-NSB", "reuse-n+d"});
+    for (const auto &name : workloadNames()) {
+        const CoreStats &base = runner.run(name, "base", baseConfig());
+        double b = contention(base);
+        auto norm = [&](const CoreStats &s) {
+            return TextTable::num(b > 0 ? contention(s) / b : 0.0, 3);
+        };
+        const CoreStats &me_sb = runner.run(
+            name, "magic-me-sb",
+            vpConfig(VpScheme::Magic, ReexecPolicy::Multiple,
+                     BranchResolution::Speculative, 0));
+        const CoreStats &nme_sb = runner.run(
+            name, "magic-nme-sb",
+            vpConfig(VpScheme::Magic, ReexecPolicy::Single,
+                     BranchResolution::Speculative, 0));
+        const CoreStats &me_nsb = runner.run(
+            name, "magic-me-nsb",
+            vpConfig(VpScheme::Magic, ReexecPolicy::Multiple,
+                     BranchResolution::NonSpeculative, 0));
+        const CoreStats &nme_nsb = runner.run(
+            name, "magic-nme-nsb",
+            vpConfig(VpScheme::Magic, ReexecPolicy::Single,
+                     BranchResolution::NonSpeculative, 0));
+        const CoreStats &ir = runner.run(name, "ir", irConfig());
+        t.addRow({name, "1.000", norm(me_sb), norm(nme_sb),
+                  norm(me_nsb), norm(nme_nsb), norm(ir)});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("shape checks: VP raises contention (re-executions "
+                "and earlier-ready\ninstructions clustering "
+                "requests); IR mostly lowers it (reused\n"
+                "instructions never occupy execution resources); "
+                "ME and NME are nearly\nidentical, as in the paper's "
+                "discussion of Table 6.\n");
+    return 0;
+}

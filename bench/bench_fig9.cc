@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 9: repeated instructions decomposed by input readiness —
+ * producers themselves reused, unreused producers at least 50
+ * instructions ahead, or unreused producers closer than that
+ * (inputs not ready).
+ */
+
+#include "bench/bench_util.hh"
+#include "redundancy/redundancy.hh"
+
+using namespace vpir;
+using namespace vpir::bench;
+
+int
+main()
+{
+    banner("Figure 9",
+           "repeated instructions by producer readiness");
+    WorkloadScale scale = benchScale();
+    uint64_t limit = benchInstLimit();
+
+    TextTable t({"bench", "prod reused %", "prod-dist >= 50 %",
+                 "prod-dist < 50 %"});
+    for (const auto &name : workloadNames()) {
+        Workload w = makeWorkload(name, scale);
+        RedundancyParams params;
+        params.maxInsts = limit;
+        RedundancyStats st = analyzeRedundancy(w.program, params);
+        double rep = static_cast<double>(st.repeated);
+        t.addRow({name, TextTable::num(pct(st.prodReused, rep), 1),
+                  TextTable::num(pct(st.prodFar, rep), 1),
+                  TextTable::num(pct(st.prodNear, rep), 1)});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("paper's shape: for most repeated instructions the "
+                "inputs are ready\nbecause their producers are "
+                "themselves reused; fewer than ~10%% have\nunreused "
+                "producers within 50 instructions (inputs not "
+                "ready), contrary\nto the expectation that decode-"
+                "time operands are rarely available.\n");
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Shared plumbing for the experiment harnesses: run a workload under
+ * a configuration (with in-process caching so one bench can derive
+ * several columns from one run), and common formatting helpers.
+ *
+ * Environment knobs:
+ *   VPIR_BENCH_INSTS  committed-instruction budget per run
+ *                     (default 400000)
+ *   VPIR_BENCH_SCALE  workload scale factor (default 1.0)
+ */
+
+#ifndef VPIR_BENCH_BENCH_UTIL_HH
+#define VPIR_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "sim/simulator.hh"
+#include "stats/table.hh"
+
+namespace vpir
+{
+namespace bench
+{
+
+/** Cached (benchmark, config-label) -> stats runner. */
+class Runner
+{
+  public:
+    Runner() : limit(benchInstLimit()), scale(benchScale()) {}
+
+    const CoreStats &
+    run(const std::string &workload, const std::string &label,
+        const CoreParams &params)
+    {
+        std::string key = workload + "/" + label;
+        auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second;
+        CoreParams p = withLimits(params, limit);
+        CoreStats st = runWorkload(workload, p, scale);
+        return cache.emplace(key, st).first->second;
+    }
+
+    uint64_t instLimit() const { return limit; }
+
+  private:
+    uint64_t limit;
+    WorkloadScale scale;
+    std::map<std::string, CoreStats> cache;
+};
+
+/** Conditional-branch direction prediction rate (%). */
+inline double
+brPredRate(const CoreStats &st)
+{
+    return st.condBranches
+               ? 100.0 * (1.0 - static_cast<double>(st.condMispredicted) /
+                                    static_cast<double>(st.condBranches))
+               : 0.0;
+}
+
+/** Return target prediction rate (%). */
+inline double
+retPredRate(const CoreStats &st)
+{
+    return st.returns
+               ? 100.0 * (1.0 - static_cast<double>(st.returnMispredicted) /
+                                    static_cast<double>(st.returns))
+               : 0.0;
+}
+
+/** Speedup of @p s over @p base (IPC ratio). */
+inline double
+speedup(const CoreStats &s, const CoreStats &base)
+{
+    return base.ipc() > 0.0 ? s.ipc() / base.ipc() : 0.0;
+}
+
+/** Mean branch resolution latency in cycles. */
+inline double
+branchResLat(const CoreStats &st)
+{
+    return st.branchResCount
+               ? static_cast<double>(st.branchResLatSum) /
+                     static_cast<double>(st.branchResCount)
+               : 0.0;
+}
+
+/** Resource contention ratio (denied / requested). */
+inline double
+contention(const CoreStats &st)
+{
+    return st.resourceRequests
+               ? static_cast<double>(st.resourceDenied) /
+                     static_cast<double>(st.resourceRequests)
+               : 0.0;
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const char *experiment, const char *what)
+{
+    std::printf("================================================="
+                "=====================\n");
+    std::printf("%s — %s\n", experiment, what);
+    std::printf("(paper: Sodani & Sohi, \"Understanding the "
+                "Differences Between Value\n Prediction and "
+                "Instruction Reuse\", MICRO-31, 1998)\n");
+    std::printf("================================================="
+                "=====================\n");
+}
+
+} // namespace bench
+} // namespace vpir
+
+#endif // VPIR_BENCH_BENCH_UTIL_HH

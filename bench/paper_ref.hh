@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Reference values from the paper's tables, printed next to measured
+ * values by the bench harnesses. Figures (3-10) have no numeric
+ * labels in the paper, so benches for them state the qualitative
+ * shape being reproduced instead.
+ */
+
+#ifndef VPIR_BENCH_PAPER_REF_HH
+#define VPIR_BENCH_PAPER_REF_HH
+
+#include <map>
+#include <string>
+
+namespace vpir
+{
+namespace paper
+{
+
+/** Table 2: branch / return prediction rates (%). */
+struct Table2Row
+{
+    double instMillions;
+    double brPredRate;
+    double retPredRate;
+};
+
+inline const std::map<std::string, Table2Row> table2 = {
+    {"go", {354.7, 75.8, 99.9}},      {"m88ksim", {491.4, 94.6, 100}},
+    {"ijpeg", {439.8, 88.8, 99.9}},   {"perl", {479.1, 95.6, 100}},
+    {"vortex", {507.6, 97.8, 99.9}},  {"gcc", {420.8, 92.0, 100}},
+    {"compress", {421.2, 89.3, 100}},
+};
+
+/** Table 3: reuse and prediction rates (%). */
+struct Table3Row
+{
+    double irResult, irAddr;
+    double magicPred, magicMispred, magicAddrPred, magicAddrMispred;
+    double lvpPred, lvpMispred, lvpAddrPred, lvpAddrMispred;
+};
+
+inline const std::map<std::string, Table3Row> table3 = {
+    {"go", {24.3, 19.9, 38.4, 3.3, 26.8, 4.7, 30.4, 4.5, 25.6, 4.0}},
+    {"m88ksim",
+     {48.5, 33.9, 54.8, 0.6, 42.0, 4.6, 42.0, 2.7, 31.2, 1.3}},
+    {"ijpeg", {11.2, 24.0, 16.7, 0.9, 19.4, 2.2, 17.4, 4.4, 18.1, 2.2}},
+    {"perl", {19.8, 28.1, 35.4, 1.2, 35.6, 2.0, 26.8, 1.7, 32.0, 1.2}},
+    {"vortex",
+     {20.9, 16.2, 36.7, 1.1, 26.9, 4.4, 33.8, 3.3, 24.7, 3.3}},
+    {"gcc", {18.6, 19.4, 36.5, 1.9, 23.9, 5.2, 29.2, 3.9, 18.9, 2.9}},
+    {"compress",
+     {16.5, 65.1, 20.5, 0.2, 43.4, 0.03, 17.3, 0.6, 41.7, 0.1}},
+};
+
+/** Table 4: % increase in branch squashes from spurious
+ *  mispredictions. */
+struct Table4Row
+{
+    double magicMeSb, magicNmeSb, lvpMeSb, lvpNmeSb;
+};
+
+inline const std::map<std::string, Table4Row> table4 = {
+    {"go", {20.0, 17.1, 37.8, 37.2}},
+    {"m88ksim", {3.4, 2.9, 102.9, 99.8}},
+    {"ijpeg", {3.3, 3.1, 31.9, 31.8}},
+    {"perl", {30.3, 22.0, 39.4, 37.9}},
+    {"vortex", {54.4, 51.8, 164.5, 160.4}},
+    {"gcc", {16.4, 14.1, 50.9, 49.5}},
+    {"compress", {1.5, 1.5, 30.6, 30.6}},
+};
+
+/** Table 5: squashed work and its recovery by IR. */
+struct Table5Row
+{
+    double instExecutedMillions;
+    double execSquashedPct;   //!< % of executed insts squashed
+    double squashRecoveredPct; //!< % of squashed insts recovered
+};
+
+inline const std::map<std::string, Table5Row> table5 = {
+    {"go", {450.4, 15.0, 36.6}},     {"m88ksim", {543.5, 4.9, 53.9}},
+    {"ijpeg", {454.8, 2.5, 49.4}},   {"perl", {530.7, 4.7, 33.8}},
+    {"vortex", {560.9, 1.2, 29.8}},  {"gcc", {466.8, 5.7, 35.3}},
+    {"compress", {490.8, 9.8, 27.7}},
+};
+
+/** Table 6: % of dynamic instructions executed 1/2/3 times
+ *  (VP_Magic, ME-SB, 1-cycle verification latency). */
+struct Table6Row
+{
+    double once, twice, thrice;
+};
+
+inline const std::map<std::string, Table6Row> table6 = {
+    {"go", {94.4, 4.9, 0.7}},      {"m88ksim", {97.6, 2.3, 0.1}},
+    {"ijpeg", {98.9, 1.0, 0.1}},   {"perl", {98.3, 1.6, 0.2}},
+    {"vortex", {98.5, 1.5, 0.0}},  {"gcc", {96.3, 3.3, 0.4}},
+    {"compress", {99.6, 0.4, 0.0}},
+};
+
+} // namespace paper
+} // namespace vpir
+
+#endif // VPIR_BENCH_PAPER_REF_HH

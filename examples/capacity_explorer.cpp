@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Design-space exploration beyond the paper's fixed 16K-VPT / 4K-RB
+ * budget: sweep the structure capacities and watch capture rates and
+ * speedup saturate. (The paper sized the two structures to equal
+ * hardware cost — an RB entry is ~4x a VPT entry; this sweep keeps
+ * that 4:1 entry ratio.)
+ *
+ * Usage: capacity_explorer [workload] (default: m88ksim)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "sim/simulator.hh"
+
+using namespace vpir;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "m88ksim";
+    const uint64_t limit = 300000;
+
+    std::printf("capacity exploration on '%s' (equal-cost VPT/RB "
+                "pairs)\n\n",
+                name.c_str());
+    CoreStats base =
+        runWorkload(name, withLimits(baseConfig(), limit));
+
+    std::printf("%10s %10s | %12s %10s | %12s %10s\n", "VPT", "RB",
+                "VP pred %", "VP spdup", "IR reuse %", "IR spdup");
+    for (unsigned rb_entries : {256u, 1024u, 4096u, 16384u}) {
+        unsigned vpt_entries = rb_entries * 4;
+
+        CoreParams vp = vpConfig(VpScheme::Magic,
+                                 ReexecPolicy::Multiple,
+                                 BranchResolution::Speculative, 0);
+        vp.vpt.entries = vpt_entries;
+        CoreStats vps = runWorkload(name, withLimits(vp, limit));
+
+        CoreParams ir = irConfig();
+        ir.rb.entries = rb_entries;
+        CoreStats irs = runWorkload(name, withLimits(ir, limit));
+
+        std::printf("%10u %10u | %11.1f%% %9.3fx | %11.1f%% %9.3fx\n",
+                    vpt_entries, rb_entries,
+                    pct(static_cast<double>(vps.vpResultCorrect),
+                        static_cast<double>(vps.committedInsts)),
+                    vps.ipc() / base.ipc(),
+                    pct(static_cast<double>(irs.reusedResults),
+                        static_cast<double>(irs.committedInsts)),
+                    irs.ipc() / base.ipc());
+    }
+
+    std::printf("\nnote: capture is bounded by the 4 instances per "
+                "static instruction\n(set associativity), so rates "
+                "saturate well before capacity does —\none of the "
+                "paper's implicit design points.\n");
+    return 0;
+}

@@ -1,0 +1,471 @@
+#include "asm/assembler.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace vpir
+{
+
+Assembler::Assembler(Addr text_base, Addr data_base)
+    : dataPos(data_base)
+{
+    prog.textBase = text_base;
+    prog.entry = text_base;
+    prog.dataInit.emplace_back(data_base, std::vector<uint8_t>());
+}
+
+Addr
+Assembler::herePC() const
+{
+    return prog.textBase + static_cast<Addr>(prog.text.size()) * 4;
+}
+
+void
+Assembler::emit(Instr inst)
+{
+    VPIR_ASSERT(!finished, "emit after finish()");
+    prog.text.push_back(inst);
+}
+
+void
+Assembler::emitBranch(Instr inst, const std::string &target)
+{
+    fixups.emplace_back(prog.text.size(), target);
+    emit(inst);
+}
+
+void
+Assembler::label(const std::string &name)
+{
+    VPIR_ASSERT(!codeLabels.count(name), "duplicate code label " + name);
+    codeLabels[name] = herePC();
+}
+
+Addr
+Assembler::labelPC(const std::string &name) const
+{
+    auto it = codeLabels.find(name);
+    VPIR_ASSERT(it != codeLabels.end(), "undefined code label " + name);
+    return it->second;
+}
+
+// ---------------------------------------------------------------- ALU
+
+namespace
+{
+
+Instr
+rType(Op op, RegId rd, RegId rs, RegId rt)
+{
+    Instr i;
+    i.op = op;
+    i.rd = rd;
+    i.rs = rs;
+    i.rt = rt;
+    return i;
+}
+
+Instr
+iType(Op op, RegId rd, RegId rs, int32_t imm)
+{
+    Instr i;
+    i.op = op;
+    i.rd = rd;
+    i.rs = rs;
+    i.imm = imm;
+    return i;
+}
+
+} // anonymous namespace
+
+void Assembler::add(RegId rd, RegId rs, RegId rt)
+{ emit(rType(Op::ADD, rd, rs, rt)); }
+void Assembler::sub(RegId rd, RegId rs, RegId rt)
+{ emit(rType(Op::SUB, rd, rs, rt)); }
+void Assembler::and_(RegId rd, RegId rs, RegId rt)
+{ emit(rType(Op::AND, rd, rs, rt)); }
+void Assembler::or_(RegId rd, RegId rs, RegId rt)
+{ emit(rType(Op::OR, rd, rs, rt)); }
+void Assembler::xor_(RegId rd, RegId rs, RegId rt)
+{ emit(rType(Op::XOR, rd, rs, rt)); }
+void Assembler::nor(RegId rd, RegId rs, RegId rt)
+{ emit(rType(Op::NOR, rd, rs, rt)); }
+void Assembler::slt(RegId rd, RegId rs, RegId rt)
+{ emit(rType(Op::SLT, rd, rs, rt)); }
+void Assembler::sltu(RegId rd, RegId rs, RegId rt)
+{ emit(rType(Op::SLTU, rd, rs, rt)); }
+void Assembler::sllv(RegId rd, RegId rs, RegId rt)
+{ emit(rType(Op::SLLV, rd, rs, rt)); }
+void Assembler::srlv(RegId rd, RegId rs, RegId rt)
+{ emit(rType(Op::SRLV, rd, rs, rt)); }
+void Assembler::srav(RegId rd, RegId rs, RegId rt)
+{ emit(rType(Op::SRAV, rd, rs, rt)); }
+
+void Assembler::addi(RegId rd, RegId rs, int32_t imm)
+{ emit(iType(Op::ADDI, rd, rs, imm)); }
+void Assembler::andi(RegId rd, RegId rs, int32_t imm)
+{ emit(iType(Op::ANDI, rd, rs, imm)); }
+void Assembler::ori(RegId rd, RegId rs, int32_t imm)
+{ emit(iType(Op::ORI, rd, rs, imm)); }
+void Assembler::xori(RegId rd, RegId rs, int32_t imm)
+{ emit(iType(Op::XORI, rd, rs, imm)); }
+void Assembler::slti(RegId rd, RegId rs, int32_t imm)
+{ emit(iType(Op::SLTI, rd, rs, imm)); }
+void Assembler::sltiu(RegId rd, RegId rs, int32_t imm)
+{ emit(iType(Op::SLTIU, rd, rs, imm)); }
+
+void
+Assembler::sll(RegId rd, RegId rs, unsigned shamt)
+{
+    VPIR_ASSERT(shamt < 32, "bad shift amount");
+    emit(iType(Op::SLL, rd, rs, static_cast<int32_t>(shamt)));
+}
+
+void
+Assembler::srl(RegId rd, RegId rs, unsigned shamt)
+{
+    VPIR_ASSERT(shamt < 32, "bad shift amount");
+    emit(iType(Op::SRL, rd, rs, static_cast<int32_t>(shamt)));
+}
+
+void
+Assembler::sra(RegId rd, RegId rs, unsigned shamt)
+{
+    VPIR_ASSERT(shamt < 32, "bad shift amount");
+    emit(iType(Op::SRA, rd, rs, static_cast<int32_t>(shamt)));
+}
+
+void Assembler::lui(RegId rd, int32_t imm)
+{ emit(iType(Op::LUI, rd, REG_INVALID, imm)); }
+void Assembler::li(RegId rd, int32_t imm)
+{ emit(iType(Op::LI, rd, REG_INVALID, imm)); }
+void Assembler::move(RegId rd, RegId rs)
+{ emit(iType(Op::ORI, rd, rs, 0)); }
+void Assembler::nop()
+{ emit(Instr{}); }
+
+// -------------------------------------------------------- mult / div
+
+void
+Assembler::mult(RegId rs, RegId rt)
+{
+    Instr i = rType(Op::MULT, REG_LO, rs, rt);
+    i.rd2 = REG_HI;
+    emit(i);
+}
+
+void
+Assembler::multu(RegId rs, RegId rt)
+{
+    Instr i = rType(Op::MULTU, REG_LO, rs, rt);
+    i.rd2 = REG_HI;
+    emit(i);
+}
+
+void
+Assembler::div(RegId rs, RegId rt)
+{
+    Instr i = rType(Op::DIV, REG_LO, rs, rt);
+    i.rd2 = REG_HI;
+    emit(i);
+}
+
+void
+Assembler::divu(RegId rs, RegId rt)
+{
+    Instr i = rType(Op::DIVU, REG_LO, rs, rt);
+    i.rd2 = REG_HI;
+    emit(i);
+}
+
+void Assembler::mfhi(RegId rd)
+{ emit(iType(Op::MFHI, rd, REG_INVALID, 0)); }
+void Assembler::mflo(RegId rd)
+{ emit(iType(Op::MFLO, rd, REG_INVALID, 0)); }
+
+// ------------------------------------------------------------- memory
+
+namespace
+{
+
+Instr
+loadType(Op op, RegId rd, RegId base, int32_t off)
+{
+    Instr i;
+    i.op = op;
+    i.rd = rd;
+    i.rs = base;
+    i.imm = off;
+    return i;
+}
+
+Instr
+storeType(Op op, RegId rt, RegId base, int32_t off)
+{
+    Instr i;
+    i.op = op;
+    i.rs = base;
+    i.rt = rt;
+    i.imm = off;
+    return i;
+}
+
+} // anonymous namespace
+
+void Assembler::lb(RegId rd, RegId base, int32_t off)
+{ emit(loadType(Op::LB, rd, base, off)); }
+void Assembler::lbu(RegId rd, RegId base, int32_t off)
+{ emit(loadType(Op::LBU, rd, base, off)); }
+void Assembler::lh(RegId rd, RegId base, int32_t off)
+{ emit(loadType(Op::LH, rd, base, off)); }
+void Assembler::lhu(RegId rd, RegId base, int32_t off)
+{ emit(loadType(Op::LHU, rd, base, off)); }
+void Assembler::lw(RegId rd, RegId base, int32_t off)
+{ emit(loadType(Op::LW, rd, base, off)); }
+void Assembler::sb(RegId rt, RegId base, int32_t off)
+{ emit(storeType(Op::SB, rt, base, off)); }
+void Assembler::sh(RegId rt, RegId base, int32_t off)
+{ emit(storeType(Op::SH, rt, base, off)); }
+void Assembler::sw(RegId rt, RegId base, int32_t off)
+{ emit(storeType(Op::SW, rt, base, off)); }
+void Assembler::ld(RegId fd, RegId base, int32_t off)
+{ emit(loadType(Op::L_D, fd, base, off)); }
+void Assembler::sd(RegId ft, RegId base, int32_t off)
+{ emit(storeType(Op::S_D, ft, base, off)); }
+
+// ------------------------------------------------------------ control
+
+void
+Assembler::beq(RegId rs, RegId rt, const std::string &target)
+{
+    emitBranch(rType(Op::BEQ, REG_INVALID, rs, rt), target);
+}
+
+void
+Assembler::bne(RegId rs, RegId rt, const std::string &target)
+{
+    emitBranch(rType(Op::BNE, REG_INVALID, rs, rt), target);
+}
+
+void
+Assembler::blez(RegId rs, const std::string &target)
+{
+    emitBranch(iType(Op::BLEZ, REG_INVALID, rs, 0), target);
+}
+
+void
+Assembler::bgtz(RegId rs, const std::string &target)
+{
+    emitBranch(iType(Op::BGTZ, REG_INVALID, rs, 0), target);
+}
+
+void
+Assembler::bltz(RegId rs, const std::string &target)
+{
+    emitBranch(iType(Op::BLTZ, REG_INVALID, rs, 0), target);
+}
+
+void
+Assembler::bgez(RegId rs, const std::string &target)
+{
+    emitBranch(iType(Op::BGEZ, REG_INVALID, rs, 0), target);
+}
+
+void
+Assembler::bc1t(const std::string &target)
+{
+    emitBranch(iType(Op::BC1T, REG_INVALID, REG_INVALID, 0), target);
+}
+
+void
+Assembler::bc1f(const std::string &target)
+{
+    emitBranch(iType(Op::BC1F, REG_INVALID, REG_INVALID, 0), target);
+}
+
+void
+Assembler::j(const std::string &target)
+{
+    emitBranch(iType(Op::J, REG_INVALID, REG_INVALID, 0), target);
+}
+
+void
+Assembler::jal(const std::string &target)
+{
+    emitBranch(iType(Op::JAL, REG_RA, REG_INVALID, 0), target);
+}
+
+void
+Assembler::jr(RegId rs)
+{
+    emit(iType(Op::JR, REG_INVALID, rs, 0));
+}
+
+void
+Assembler::jalr(RegId rd, RegId rs)
+{
+    emit(iType(Op::JALR, rd, rs, 0));
+}
+
+void
+Assembler::halt()
+{
+    Instr i;
+    i.op = Op::HALT;
+    emit(i);
+}
+
+// ----------------------------------------------------- floating point
+
+void Assembler::add_d(RegId fd, RegId fs, RegId ft)
+{ emit(rType(Op::ADD_D, fd, fs, ft)); }
+void Assembler::sub_d(RegId fd, RegId fs, RegId ft)
+{ emit(rType(Op::SUB_D, fd, fs, ft)); }
+void Assembler::mul_d(RegId fd, RegId fs, RegId ft)
+{ emit(rType(Op::MUL_D, fd, fs, ft)); }
+void Assembler::div_d(RegId fd, RegId fs, RegId ft)
+{ emit(rType(Op::DIV_D, fd, fs, ft)); }
+void Assembler::sqrt_d(RegId fd, RegId fs)
+{ emit(iType(Op::SQRT_D, fd, fs, 0)); }
+void Assembler::mov_d(RegId fd, RegId fs)
+{ emit(iType(Op::MOV_D, fd, fs, 0)); }
+void Assembler::neg_d(RegId fd, RegId fs)
+{ emit(iType(Op::NEG_D, fd, fs, 0)); }
+
+void
+Assembler::c_eq_d(RegId fs, RegId ft)
+{
+    emit(rType(Op::C_EQ_D, REG_FCC, fs, ft));
+}
+
+void
+Assembler::c_lt_d(RegId fs, RegId ft)
+{
+    emit(rType(Op::C_LT_D, REG_FCC, fs, ft));
+}
+
+void
+Assembler::c_le_d(RegId fs, RegId ft)
+{
+    emit(rType(Op::C_LE_D, REG_FCC, fs, ft));
+}
+
+void
+Assembler::cvt_d_w(RegId fd, RegId rs)
+{
+    emit(iType(Op::CVT_D_W, fd, rs, 0));
+}
+
+void
+Assembler::cvt_w_d(RegId rd, RegId fs)
+{
+    emit(iType(Op::CVT_W_D, rd, fs, 0));
+}
+
+// ---------------------------------------------------------------- data
+
+void
+Assembler::dataLabel(const std::string &name)
+{
+    VPIR_ASSERT(!dataLabels.count(name), "duplicate data label " + name);
+    dataLabels[name] = dataPos;
+}
+
+Addr
+Assembler::dataAddr(const std::string &name) const
+{
+    auto it = dataLabels.find(name);
+    VPIR_ASSERT(it != dataLabels.end(), "undefined data label " + name);
+    return it->second;
+}
+
+void
+Assembler::word(uint32_t value)
+{
+    auto &seg = prog.dataInit.back().second;
+    for (int b = 0; b < 4; ++b)
+        seg.push_back(static_cast<uint8_t>(value >> (8 * b)));
+    dataPos += 4;
+}
+
+void
+Assembler::words(const std::vector<uint32_t> &values)
+{
+    for (uint32_t v : values)
+        word(v);
+}
+
+void
+Assembler::bytes(const std::vector<uint8_t> &values)
+{
+    auto &seg = prog.dataInit.back().second;
+    seg.insert(seg.end(), values.begin(), values.end());
+    dataPos += static_cast<Addr>(values.size());
+}
+
+void
+Assembler::dword(double value)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    auto &seg = prog.dataInit.back().second;
+    for (int b = 0; b < 8; ++b)
+        seg.push_back(static_cast<uint8_t>(bits >> (8 * b)));
+    dataPos += 8;
+}
+
+void
+Assembler::space(uint32_t n)
+{
+    auto &seg = prog.dataInit.back().second;
+    seg.insert(seg.end(), n, 0);
+    dataPos += n;
+}
+
+void
+Assembler::align(uint32_t boundary)
+{
+    VPIR_ASSERT(boundary && !(boundary & (boundary - 1)),
+                "alignment not a power of two");
+    while (dataPos & (boundary - 1))
+        space(1);
+}
+
+void
+Assembler::la(RegId rd, const std::string &data_label)
+{
+    li(rd, static_cast<int32_t>(dataAddr(data_label)));
+}
+
+void
+Assembler::patchWord(Addr addr, uint32_t value)
+{
+    for (auto &[base, seg] : prog.dataInit) {
+        if (addr >= base && addr + 4 <= base + seg.size()) {
+            for (int b = 0; b < 4; ++b)
+                seg[addr - base + b] =
+                    static_cast<uint8_t>(value >> (8 * b));
+            return;
+        }
+    }
+    panic("patchWord outside initialised data");
+}
+
+// ------------------------------------------------------------- finish
+
+Program
+Assembler::finish()
+{
+    VPIR_ASSERT(!finished, "finish() called twice");
+    for (const auto &[idx, name] : fixups) {
+        auto it = codeLabels.find(name);
+        VPIR_ASSERT(it != codeLabels.end(),
+                    "undefined code label " + name);
+        prog.text[idx].target = it->second;
+    }
+    finished = true;
+    return prog;
+}
+
+} // namespace vpir

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Embedded assembler used to author the synthetic workloads.
+ *
+ * Programs are built with one call per instruction; labels may be used
+ * before they are defined and are resolved by finish(). A data segment
+ * builder initialises memory (word tables, byte strings, zero fill)
+ * and exposes data labels to the code via la().
+ */
+
+#ifndef VPIR_ASM_ASSEMBLER_HH
+#define VPIR_ASM_ASSEMBLER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/instr.hh"
+
+namespace vpir
+{
+
+/** A fully assembled program plus its initial memory image. */
+struct Program
+{
+    Addr textBase = 0x1000;              //!< PC of text[0]
+    std::vector<Instr> text;             //!< pre-decoded instructions
+    std::vector<std::pair<Addr, std::vector<uint8_t>>> dataInit;
+    Addr entry = 0x1000;                 //!< initial PC
+    Addr stackTop = 0x7ff000;            //!< initial r29
+
+    /** PC of the last text word + 4. */
+    Addr textEnd() const
+    {
+        return textBase + static_cast<Addr>(text.size()) * 4;
+    }
+
+    /** Instruction at a PC, or nullptr when outside the text. */
+    const Instr *
+    at(Addr pc) const
+    {
+        if (pc < textBase || pc >= textEnd() || (pc & 3))
+            return nullptr;
+        return &text[(pc - textBase) / 4];
+    }
+};
+
+/**
+ * Fluent program builder. Register arguments are flat RegIds (use
+ * intReg()/fpReg()); immediate-form branches take label strings.
+ */
+class Assembler
+{
+  public:
+    explicit Assembler(Addr text_base = 0x1000, Addr data_base = 0x100000);
+
+    // --- labels ------------------------------------------------------
+    /** Define a code label at the next instruction. */
+    void label(const std::string &name);
+    /** PC a code label resolves to (label must already be defined). */
+    Addr labelPC(const std::string &name) const;
+
+    // --- integer ALU -------------------------------------------------
+    void add(RegId rd, RegId rs, RegId rt);
+    void sub(RegId rd, RegId rs, RegId rt);
+    void and_(RegId rd, RegId rs, RegId rt);
+    void or_(RegId rd, RegId rs, RegId rt);
+    void xor_(RegId rd, RegId rs, RegId rt);
+    void nor(RegId rd, RegId rs, RegId rt);
+    void slt(RegId rd, RegId rs, RegId rt);
+    void sltu(RegId rd, RegId rs, RegId rt);
+    void sllv(RegId rd, RegId rs, RegId rt);
+    void srlv(RegId rd, RegId rs, RegId rt);
+    void srav(RegId rd, RegId rs, RegId rt);
+    void addi(RegId rd, RegId rs, int32_t imm);
+    void andi(RegId rd, RegId rs, int32_t imm);
+    void ori(RegId rd, RegId rs, int32_t imm);
+    void xori(RegId rd, RegId rs, int32_t imm);
+    void slti(RegId rd, RegId rs, int32_t imm);
+    void sltiu(RegId rd, RegId rs, int32_t imm);
+    void sll(RegId rd, RegId rs, unsigned shamt);
+    void srl(RegId rd, RegId rs, unsigned shamt);
+    void sra(RegId rd, RegId rs, unsigned shamt);
+    void lui(RegId rd, int32_t imm);
+    void li(RegId rd, int32_t imm);
+    /** Pseudo: rd = rs (implemented as ORI rd, rs, 0). */
+    void move(RegId rd, RegId rs);
+    void nop();
+
+    // --- multiply / divide --------------------------------------------
+    void mult(RegId rs, RegId rt);
+    void multu(RegId rs, RegId rt);
+    void div(RegId rs, RegId rt);
+    void divu(RegId rs, RegId rt);
+    void mfhi(RegId rd);
+    void mflo(RegId rd);
+
+    // --- memory --------------------------------------------------------
+    void lb(RegId rd, RegId base, int32_t off);
+    void lbu(RegId rd, RegId base, int32_t off);
+    void lh(RegId rd, RegId base, int32_t off);
+    void lhu(RegId rd, RegId base, int32_t off);
+    void lw(RegId rd, RegId base, int32_t off);
+    void sb(RegId rt, RegId base, int32_t off);
+    void sh(RegId rt, RegId base, int32_t off);
+    void sw(RegId rt, RegId base, int32_t off);
+    void ld(RegId fd, RegId base, int32_t off);   //!< L_D
+    void sd(RegId ft, RegId base, int32_t off);   //!< S_D
+
+    // --- control --------------------------------------------------------
+    void beq(RegId rs, RegId rt, const std::string &target);
+    void bne(RegId rs, RegId rt, const std::string &target);
+    void blez(RegId rs, const std::string &target);
+    void bgtz(RegId rs, const std::string &target);
+    void bltz(RegId rs, const std::string &target);
+    void bgez(RegId rs, const std::string &target);
+    void bc1t(const std::string &target);
+    void bc1f(const std::string &target);
+    void j(const std::string &target);
+    void jal(const std::string &target);
+    void jr(RegId rs);
+    void jalr(RegId rd, RegId rs);
+    void halt();
+
+    // --- floating point ---------------------------------------------
+    void add_d(RegId fd, RegId fs, RegId ft);
+    void sub_d(RegId fd, RegId fs, RegId ft);
+    void mul_d(RegId fd, RegId fs, RegId ft);
+    void div_d(RegId fd, RegId fs, RegId ft);
+    void sqrt_d(RegId fd, RegId fs);
+    void mov_d(RegId fd, RegId fs);
+    void neg_d(RegId fd, RegId fs);
+    void c_eq_d(RegId fs, RegId ft);
+    void c_lt_d(RegId fs, RegId ft);
+    void c_le_d(RegId fs, RegId ft);
+    void cvt_d_w(RegId fd, RegId rs);
+    void cvt_w_d(RegId rd, RegId fs);
+
+    // --- data segment -------------------------------------------------
+    /** Define a data label at the current data cursor. */
+    void dataLabel(const std::string &name);
+    /** Address a data label resolves to. */
+    Addr dataAddr(const std::string &name) const;
+    /** Append a 32-bit word. */
+    void word(uint32_t value);
+    /** Append n 32-bit words. */
+    void words(const std::vector<uint32_t> &values);
+    /** Append raw bytes. */
+    void bytes(const std::vector<uint8_t> &values);
+    /** Append a 64-bit IEEE double. */
+    void dword(double value);
+    /** Reserve n zero bytes. */
+    void space(uint32_t n);
+    /** Align the data cursor to a power-of-two boundary. */
+    void align(uint32_t boundary);
+    /** Current data cursor address. */
+    Addr dataCursor() const { return dataPos; }
+
+    /** Pseudo: load the address of a data label. */
+    void la(RegId rd, const std::string &data_label);
+
+    /**
+     * Overwrite a previously emitted data word; used to fill jump
+     * tables with code label addresses after the code is assembled.
+     */
+    void patchWord(Addr addr, uint32_t value);
+
+    // --- completion -----------------------------------------------------
+    /** Resolve all label references and produce the Program. */
+    Program finish();
+
+    /** Number of instructions emitted so far. */
+    size_t size() const { return prog.text.size(); }
+
+  private:
+    void emit(Instr inst);
+    void emitBranch(Instr inst, const std::string &target);
+    Addr herePC() const;
+
+    Program prog;
+    Addr dataPos;
+    std::map<std::string, Addr> codeLabels;
+    std::map<std::string, Addr> dataLabels;
+    std::vector<std::pair<size_t, std::string>> fixups;
+    bool finished = false;
+};
+
+} // namespace vpir
+
+#endif // VPIR_ASM_ASSEMBLER_HH

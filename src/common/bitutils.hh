@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Small bit/index helpers shared by the table-like hardware structures.
+ */
+
+#ifndef VPIR_COMMON_BITUTILS_HH
+#define VPIR_COMMON_BITUTILS_HH
+
+#include <cstdint>
+
+namespace vpir
+{
+
+/** True if x is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** log2 of a power of two. */
+constexpr unsigned
+floorLog2(uint64_t x)
+{
+    unsigned l = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++l;
+    }
+    return l;
+}
+
+/** Sign-extend the low @p bits bits of @p v. */
+constexpr int32_t
+signExtend(uint32_t v, unsigned bits)
+{
+    uint32_t m = 1u << (bits - 1);
+    return static_cast<int32_t>((v ^ m) - m);
+}
+
+/** Sign-extend a byte to 32 bits. */
+constexpr int32_t
+signExtendByte(uint8_t v)
+{
+    return static_cast<int32_t>(static_cast<int8_t>(v));
+}
+
+/** Sign-extend a halfword to 32 bits. */
+constexpr int32_t
+signExtendHalf(uint16_t v)
+{
+    return static_cast<int32_t>(static_cast<int16_t>(v));
+}
+
+/** Fold a 32-bit PC into a table index of indexBits bits. */
+constexpr uint32_t
+foldPC(uint32_t pc, unsigned index_bits)
+{
+    uint32_t v = pc >> 2; // instructions are word aligned
+    return (v ^ (v >> index_bits) ^ (v >> (2 * index_bits))) &
+           ((1u << index_bits) - 1);
+}
+
+} // namespace vpir
+
+#endif // VPIR_COMMON_BITUTILS_HH

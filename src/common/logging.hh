@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Error and status reporting, in the gem5 sense: panic() for internal
+ * simulator bugs, fatal() for user/configuration errors, warn() and
+ * inform() for advisory output.
+ */
+
+#ifndef VPIR_COMMON_LOGGING_HH
+#define VPIR_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace vpir
+{
+
+/** Print a message and abort; use for conditions that indicate a bug. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Print a message and exit(1); use for user/configuration errors. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Print a warning; simulation continues. */
+void warn(const std::string &msg);
+
+/** Print an informational message. */
+void inform(const std::string &msg);
+
+/**
+ * Assert a simulator invariant; calls panic() with location info on
+ * failure. Active in all build types (unlike assert()).
+ */
+#define VPIR_ASSERT(cond, msg)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::vpir::panic(std::string("assertion failed at ") + __FILE__ + \
+                          ":" + std::to_string(__LINE__) + ": " + (msg));   \
+        }                                                                   \
+    } while (0)
+
+} // namespace vpir
+
+#endif // VPIR_COMMON_LOGGING_HH

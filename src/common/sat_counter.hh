@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Saturating counter, the workhorse of confidence estimation and
+ * two-bit branch direction prediction.
+ */
+
+#ifndef VPIR_COMMON_SAT_COUNTER_HH
+#define VPIR_COMMON_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace vpir
+{
+
+/** An n-bit saturating up/down counter. */
+class SatCounter
+{
+  public:
+    /**
+     * @param bits Counter width in bits (1..15).
+     * @param initial Initial count.
+     */
+    explicit SatCounter(unsigned bits = 2, unsigned initial = 0)
+        : maxVal((1u << bits) - 1), count(initial)
+    {
+        VPIR_ASSERT(bits >= 1 && bits <= 15, "bad counter width");
+        VPIR_ASSERT(initial <= maxVal, "initial exceeds saturation");
+    }
+
+    /** Increment, saturating at max. */
+    void
+    increment()
+    {
+        if (count < maxVal)
+            ++count;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (count > 0)
+            --count;
+    }
+
+    /** Reset to a given value. */
+    void
+    reset(unsigned value = 0)
+    {
+        VPIR_ASSERT(value <= maxVal, "reset exceeds saturation");
+        count = static_cast<uint16_t>(value);
+    }
+
+    unsigned value() const { return count; }
+    unsigned max() const { return maxVal; }
+
+    /** True when the count is in the upper half (e.g. taken for 2-bit). */
+    bool isSet() const { return count > maxVal / 2; }
+
+    /** True when the count is at or above the given threshold. */
+    bool atLeast(unsigned threshold) const { return count >= threshold; }
+
+  private:
+    uint16_t maxVal;
+    uint16_t count;
+};
+
+} // namespace vpir
+
+#endif // VPIR_COMMON_SAT_COUNTER_HH

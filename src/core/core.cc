@@ -1,0 +1,1168 @@
+#include "core/core.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "common/logging.hh"
+#include "isa/disasm.hh"
+
+namespace vpir
+{
+
+Core::Core(const CoreParams &p, const Program &program)
+    : params(p),
+      prog(program),
+      emu(program, state),
+      icache(p.icache),
+      dcache(p.dcache),
+      bpred(p.bpred),
+      vptResult(p.vpt),
+      vptAddr(p.vpt),
+      rb(p.rb),
+      rob(p.robEntries),
+      fetchPC(program.entry)
+{
+    Emulator::loadProgram(program, state);
+    for (auto &r : regProducer)
+        r = RobRef{};
+
+    // Functional fast-forward (paper §4.1.5): execute the first
+    // warmupInsts instructions on the emulator alone, then start the
+    // timing simulation from wherever the program got to.
+    for (uint64_t i = 0; i < p.warmupInsts && !emu.halted(); ++i) {
+        emu.step();
+        state.retire(state.mark());
+    }
+    fetchPC = emu.halted() ? prog.entry : emu.pc();
+    if (emu.halted())
+        warn("warmup consumed the whole program");
+}
+
+// ------------------------------------------------------------ helpers
+
+bool
+Core::refAlive(const RobRef &r) const
+{
+    return r.valid() && rob[r.slot].valid && rob[r.slot].seq == r.seq;
+}
+
+int
+Core::allocRob()
+{
+    if (robUsed == params.robEntries)
+        return -1;
+    int slot = robTail;
+    robTail = (robTail + 1) % static_cast<int>(params.robEntries);
+    ++robUsed;
+    return slot;
+}
+
+void
+Core::forEachInOrder(const std::function<bool(int)> &fn) const
+{
+    int slot = robHead;
+    for (unsigned i = 0; i < robUsed; ++i) {
+        if (!fn(slot))
+            return;
+        slot = (slot + 1) % static_cast<int>(params.robEntries);
+    }
+}
+
+uint64_t
+Core::entryValueFor(const RobEntry &e, RegId reg) const
+{
+    if (e.inst.rd2 != REG_INVALID && reg == e.inst.rd2)
+        return e.curResult2;
+    return e.curResult;
+}
+
+bool
+Core::entryValueAvail(const RobEntry &e, RegId reg, uint64_t t) const
+{
+    if (e.inst.rd2 != REG_INVALID && reg == e.inst.rd2)
+        return e.curResult2Valid && e.readyTime <= t;
+    return e.hasValue && e.readyTime <= t;
+}
+
+Core::OperandView
+Core::operandView(int slot, int k, uint64_t t) const
+{
+    const RobEntry &e = at(slot);
+    OperandView v;
+    if (e.srcReg[k] == REG_INVALID) {
+        v.avail = true;
+        v.final = true;
+        v.value = 0;
+        return v;
+    }
+    const RobRef &ref = e.srcRob[k];
+    if (!refAlive(ref)) {
+        // Producer committed (or value was architectural at dispatch):
+        // the value is final and equals the oracle operand.
+        v.avail = true;
+        v.final = true;
+        v.value = e.exec.srcVals[k];
+        return v;
+    }
+    const RobEntry &p = at(ref.slot);
+    v.avail = entryValueAvail(p, e.srcReg[k], t);
+    v.value = entryValueFor(p, e.srcReg[k]);
+    v.final = v.avail && p.finalized && p.finalizeAt <= t;
+    return v;
+}
+
+unsigned
+Core::unresolvedBranches() const
+{
+    unsigned n = 0;
+    forEachInOrder([&](int slot) {
+        const RobEntry &e = at(slot);
+        if (e.isCtrl && e.resolvable && !e.resolvedForFetch)
+            ++n;
+        return true;
+    });
+    for (const FetchedInst &f : fetchQueue) {
+        if (f.isCtrl &&
+            (isCondBranch(f.inst.op) || isIndirectJump(f.inst.op)))
+            ++n;
+    }
+    return n;
+}
+
+// -------------------------------------------------------------- fetch
+
+void
+Core::fetchStage()
+{
+    if (done || fetchHalted || curCycle < fetchResumeCycle ||
+        icacheStallUntil > curCycle) {
+        return;
+    }
+
+    unsigned budget = params.fetchWidth;
+    bool first = true;
+    Addr line_pc = fetchPC;
+
+    while (budget > 0 && fetchQueue.size() < params.fetchQueueSize) {
+        const Instr *ip = prog.at(fetchPC);
+        if (!ip) {
+            fetchHalted = true; // off the text segment; wait for squash
+            break;
+        }
+        if (!icache.sameLine(fetchPC, line_pc))
+            break; // cannot fetch across a cache line boundary
+
+        if (first) {
+            unsigned lat = icache.access(fetchPC);
+            if (lat > params.icache.hitLatency) {
+                icacheStallUntil = curCycle + lat;
+                return;
+            }
+            first = false;
+        }
+
+        FetchedInst f;
+        f.pc = fetchPC;
+        f.inst = *ip;
+        f.isCtrl = isControl(ip->op);
+
+        if (ip->op == Op::HALT) {
+            f.predNextPC = fetchPC; // fetch stops here
+            fetchQueue.push_back(f);
+            fetchHalted = true;
+            break;
+        }
+
+        bool taken_stop = false;
+        if (f.isCtrl) {
+            bool resolvable =
+                isCondBranch(ip->op) || isIndirectJump(ip->op);
+            if (resolvable &&
+                unresolvedBranches() >= params.maxUnresolvedBranches) {
+                break; // Table 1: max 8 unresolved branches
+            }
+            f.bpCp = bpred.checkpoint();
+            BpredLookup look = bpred.predict(fetchPC, *ip);
+            f.predTaken = look.predTaken;
+            f.ghrUsed = look.ghrUsed;
+            f.fromRas = look.fromRas;
+            f.predNextPC = look.predTaken ? look.predTarget
+                                          : fetchPC + 4;
+            taken_stop = look.predTaken; // one taken branch per cycle
+        } else {
+            f.predNextPC = fetchPC + 4;
+        }
+
+        fetchQueue.push_back(f);
+        fetchPC = f.predNextPC;
+        --budget;
+        if (taken_stop)
+            break;
+    }
+}
+
+// ----------------------------------------------------------- dispatch
+
+void
+Core::tryDispatchPredict(int slot)
+{
+    RobEntry &e = at(slot);
+
+    if (params.vpPredictResults && producesResult(e.inst) &&
+        !e.isSt && e.inst.rd != REG_INVALID) {
+        e.madePred = vptResult.predict(e.pc, e.exec.out.result);
+        if (e.madePred.valid) {
+            e.predicted = true;
+            e.predValue = e.madePred.value;
+            e.curResult = e.madePred.value;
+            e.hasValue = true;
+            e.readyTime = curCycle;
+        }
+    }
+    if (params.vpPredictAddresses && (e.isLd || e.isSt)) {
+        e.madeAddrPred = vptAddr.predict(e.pc, e.exec.out.memAddr);
+        if (e.madeAddrPred.valid) {
+            e.addrPredicted = true;
+            e.addrPredValue = e.madeAddrPred.value;
+            if (e.isLd) {
+                // Loads may access the cache with the predicted
+                // (speculative) address without waiting for the base
+                // register. Store address predictions are recorded
+                // (Table 3) but not used for disambiguation.
+                e.curMemAddr = static_cast<Addr>(e.madeAddrPred.value);
+                e.memAddrKnown = true;
+            }
+        }
+    }
+}
+
+void
+Core::tryDispatchReuse(int slot)
+{
+    RobEntry &e = at(slot);
+    if (e.cls == InstClass::Nop || e.isHalt)
+        return;
+
+    // Build the operand queries for the reuse test: current
+    // architectural values (oracle for this path) plus decode-time
+    // availability and producer reuse chaining information.
+    RbOperandQuery q[2];
+    for (int k = 0; k < 2; ++k) {
+        q[k].reg = e.srcReg[k];
+        q[k].value = e.exec.srcVals[k];
+        if (q[k].reg == REG_INVALID)
+            continue;
+        const RobRef &ref = e.srcRob[k];
+        if (!refAlive(ref)) {
+            q[k].ready = true;
+        } else {
+            const RobEntry &p = at(ref.slot);
+            q[k].ready = entryValueAvail(p, q[k].reg, curCycle) &&
+                         p.finalized;
+            // Chains probe through reused producers; in late mode the
+            // hit set must match early mode (only validation timing
+            // differs), so late-reused producers chain as well.
+            if (p.reused || p.reusedLate)
+                q[k].producerReuse = p.rbEntry;
+        }
+    }
+
+    RbProbeResult hit = rb.probe(e.pc, e.inst, q);
+    if (!hit.entry.valid())
+        return;
+
+    bool result_ok = hit.resultReused;
+
+    if (e.isLd && result_ok) {
+        // Precision check standing in for exact invalidation: the
+        // stored value must still be what memory holds for this path.
+        if (hit.memValue != e.exec.out.result)
+            result_ok = false;
+        // Non-speculative gate: all older stores must have known,
+        // non-overlapping addresses (Table 1's conservative loads).
+        for (const LsqEntry &le : lsq) {
+            if (!refAlive(le.rob) || le.rob.seq >= e.seq)
+                continue;
+            if (le.isLoad)
+                continue;
+            const RobEntry &s = at(le.rob.slot);
+            if (!s.storeAddrReady) {
+                result_ok = false;
+                break;
+            }
+            Addr lo = e.exec.out.memAddr;
+            Addr s_lo = s.curMemAddr;
+            if (lo < s_lo + memSize(s.inst.op) &&
+                s_lo < lo + e.memSz) {
+                result_ok = false;
+                break;
+            }
+        }
+    }
+
+    if (result_ok && params.irValidation == IrValidation::Late) {
+        // Figure 3 "late": the hit behaves as a correct value
+        // prediction — the value flows at decode but the instruction
+        // still executes, uses resources, and resolves at execute.
+        e.reusedLate = true;
+        if (producesResult(e.inst) && e.inst.rd != REG_INVALID &&
+            !e.isSt) {
+            e.predicted = true;
+            e.predValue = e.exec.out.result;
+            e.curResult = e.predValue;
+            e.hasValue = true;
+            e.readyTime = curCycle;
+        }
+        if (hit.recoveredSquashedWork)
+            ++st.squashedRecovered;
+        rb.noteReused(hit, e.inst);
+        e.rbEntry = hit.entry;
+        return;
+    }
+
+    if (result_ok) {
+        e.reused = true;
+        e.needsExec = false;
+        e.rbEntry = hit.entry;
+        e.curResult = producesResult(e.inst)
+                          ? (e.isLd ? hit.memValue : hit.result)
+                          : 0;
+        e.curResult2 = hit.result2;
+        e.curResult2Valid = true;
+        e.curTaken = e.exec.out.taken;
+        e.curNextPC = e.exec.out.nextPC;
+        e.hasValue = producesResult(e.inst);
+        e.readyTime = curCycle;
+        e.finalized = true;
+        e.finalizeAt = curCycle;
+        if (e.isLd) {
+            e.curMemAddr = e.exec.out.memAddr;
+            e.memAddrKnown = true;
+        }
+        if (hit.recoveredSquashedWork)
+            ++st.squashedRecovered;
+        rb.noteReused(hit, e.inst);
+        VPIR_ASSERT(!producesResult(e.inst) ||
+                        e.curResult == e.exec.out.result,
+                    "reuse delivered a wrong value");
+        return;
+    }
+
+    if (hit.addrReused && (e.isLd || e.isSt)) {
+        VPIR_ASSERT(hit.memAddr == e.exec.out.memAddr,
+                    "address reuse delivered a wrong address");
+        e.addrReused = true;
+        e.curMemAddr = hit.memAddr;
+        e.memAddrKnown = true;
+        if (e.isSt)
+            e.storeAddrReady = true; // unblocks younger loads early
+        rb.noteReused(hit, e.inst);
+        if (hit.recoveredSquashedWork)
+            ++st.squashedRecovered;
+    }
+}
+
+void
+Core::dispatchStage()
+{
+    unsigned dispatched = 0;
+    while (dispatched < params.dispatchWidth && !fetchQueue.empty()) {
+        const FetchedInst &f = fetchQueue.front();
+        bool is_mem = isMem(f.inst.op);
+        if (is_mem && lsq.size() >= params.lsqEntries)
+            break;
+        int slot = allocRob();
+        if (slot < 0)
+            break;
+
+        ExecResult er = emu.stepAt(f.pc);
+
+        RobEntry &e = at(slot);
+        e = RobEntry{};
+        e.valid = true;
+        e.seq = nextSeq++;
+        e.pc = f.pc;
+        e.inst = er.inst;
+        e.cls = decodeInfo(er.inst.op).cls;
+        e.exec = er;
+        e.postMark = state.mark();
+        e.dispatchCycle = curCycle;
+        e.isHalt = er.halted;
+        e.isLd = isLoad(er.inst.op);
+        e.isSt = isStore(er.inst.op);
+        e.memSz = memSize(er.inst.op);
+        e.isCtrl = f.isCtrl;
+        e.resolvable =
+            isCondBranch(er.inst.op) || isIndirectJump(er.inst.op);
+        e.predTaken = f.predTaken;
+        e.predNextPC = f.predNextPC;
+        e.followedNextPC = f.predNextPC;
+        e.ghrUsed = f.ghrUsed;
+        e.fromRas = f.fromRas;
+        e.bpCp = f.bpCp;
+
+        // Rename sources against in-flight producers.
+        SrcRegs s = srcRegs(er.inst);
+        for (int k = 0; k < 2; ++k) {
+            e.srcReg[k] = s.src[k];
+            if (s.src[k] != REG_INVALID &&
+                refAlive(regProducer[s.src[k]])) {
+                e.srcRob[k] = regProducer[s.src[k]];
+            }
+        }
+
+        if (e.cls == InstClass::Nop || e.isHalt) {
+            e.needsExec = false;
+            e.finalized = true;
+            e.finalizeAt = curCycle;
+        }
+
+        if (is_mem) {
+            LsqEntry le;
+            le.rob = RobRef{slot, e.seq};
+            le.isLoad = e.isLd;
+            lsq.push_back(le);
+        }
+
+        if (!e.isHalt && e.cls != InstClass::Nop) {
+            if (params.technique == Technique::IR) {
+                tryDispatchReuse(slot);
+            } else if (params.technique == Technique::VP) {
+                tryDispatchPredict(slot);
+            } else if (params.technique == Technique::Hybrid) {
+                // Hybrid: the non-speculative reuse test first; fall
+                // back to a value prediction when the result was not
+                // reused (the redundancy VP can capture but IR's
+                // operand test cannot).
+                tryDispatchReuse(slot);
+                if (!e.reused)
+                    tryDispatchPredict(slot);
+            }
+        }
+
+        // Claim destinations after the reuse probe (which must see the
+        // *previous* producers of our destination registers).
+        DstRegs d = dstRegs(er.inst);
+        for (RegId r : d.dst) {
+            if (r != REG_INVALID)
+                regProducer[r] = RobRef{slot, e.seq};
+        }
+
+        fetchQueue.pop_front();
+        ++dispatched;
+
+        // A reused control instruction resolves at decode: resolution
+        // latency zero, and an immediate redirect on a bpred miss.
+        if (e.reused && e.isCtrl) {
+            e.resolvedForFetch = true;
+            e.finalActionDone = true;
+            if (e.correctResolveAt == UINT64_MAX)
+                e.correctResolveAt = curCycle;
+            if (e.curNextPC != e.followedNextPC) {
+                squashAfter(slot, e.curNextPC);
+                break; // fetch queue flushed
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------- issue
+
+bool
+Core::loadMayAccess(int slot, bool &forward, RobRef &conflict) const
+{
+    const RobEntry &e = at(slot);
+    forward = false;
+    conflict = RobRef{};
+    // All older stores must have known addresses (Table 1), and an
+    // overlapping one must be exactly matching + data-ready to
+    // forward; otherwise the load waits.
+    const RobEntry *fwd_store = nullptr;
+    for (const LsqEntry &le : lsq) {
+        if (!refAlive(le.rob))
+            continue;
+        if (le.rob.seq >= e.seq)
+            break;
+        if (le.isLoad)
+            continue;
+        const RobEntry &s = at(le.rob.slot);
+        if (!s.storeAddrReady) {
+            conflict = le.rob;
+            return false;
+        }
+        Addr s_lo = s.curMemAddr;
+        unsigned s_sz = memSize(s.inst.op);
+        Addr l_lo = e.curMemAddr;
+        if (l_lo < s_lo + s_sz && s_lo < l_lo + e.memSz) {
+            if (s_lo == l_lo && s_sz == e.memSz) {
+                fwd_store = &s; // youngest matching store wins
+                conflict = le.rob;
+            } else {
+                // Partial overlap: wait until the store commits.
+                conflict = le.rob;
+                fwd_store = nullptr;
+                return false;
+            }
+        }
+    }
+    if (fwd_store)
+        forward = true;
+    return true;
+}
+
+void
+Core::issueEntry(int slot)
+{
+    RobEntry &e = at(slot);
+    OperandView v0 = operandView(slot, 0, curCycle);
+    OperandView v1 = operandView(slot, 1, curCycle);
+
+    e.usedVals[0] = v0.value;
+    e.usedVals[1] = v1.value;
+    e.usedFinal[0] = v0.final;
+    e.usedFinal[1] = v1.final;
+    ++e.execCount;
+    if (!e.executedOnce)
+        ++st.executedInsts;
+
+    bool oracle_inputs = v0.value == e.exec.srcVals[0] &&
+                         v1.value == e.exec.srcVals[1];
+
+    if (oracle_inputs) {
+        e.pendResult = e.exec.out.result;
+        e.pendResult2 = e.exec.out.result2;
+        e.pendTaken = e.exec.out.taken;
+        e.pendNextPC = e.exec.out.nextPC;
+        e.pendMemAddr = e.exec.out.memAddr;
+    } else {
+        // Speculative inputs: genuinely evaluate with the wrong
+        // values (this is what makes spurious outcomes possible).
+        MemReadFn mem = [this](Addr a, unsigned sz) {
+            return state.readMem(a, sz);
+        };
+        SemOut o = evalInstr(e.inst, e.pc, v0.value, v1.value, mem);
+        e.pendResult = o.result;
+        e.pendResult2 = o.result2;
+        e.pendTaken = o.taken;
+        e.pendNextPC = o.nextPC;
+        e.pendMemAddr = o.memAddr;
+    }
+
+    const DecodeInfo &di = decodeInfo(e.inst.op);
+    uint64_t complete = curCycle + di.opLat;
+
+    if (e.isLd) {
+        bool skip_agen = e.addrReused || (e.addrPredicted &&
+                                          !v0.avail);
+        // Loads that did AGEN use the freshly computed address; the
+        // others carry the reused/predicted one.
+        if (!skip_agen)
+            e.curMemAddr = static_cast<Addr>(e.pendMemAddr);
+        bool fwd = false;
+        RobRef dep;
+        if (loadMayAccess(slot, fwd, dep) && !fwd) {
+            unsigned lat = dcache.access(e.curMemAddr);
+            complete = curCycle + (skip_agen ? 0 : 1) + lat;
+        } else {
+            // Forwarded from an older matching store.
+            complete = curCycle + (skip_agen ? 0 : 1) + 1;
+        }
+        if (!oracle_inputs || (e.addrPredicted && !v0.avail)) {
+            // Speculative access: read whatever that address holds.
+            e.pendResult = state.readMem(e.curMemAddr, e.memSz);
+        }
+    }
+
+    // Value publication is delayed by the verification latency when a
+    // predicted instruction computes something other than what its
+    // consumers were handed (paper: dependants are delayed by the
+    // VP-verification latency).
+    if (e.predicted && e.pendResult != e.curResult)
+        complete += params.vpVerifyLatency;
+
+    e.inFlight = true;
+    e.completeAt = complete;
+}
+
+void
+Core::issueStage()
+{
+    unsigned issued = 0;
+    std::vector<int> order;
+    order.reserve(robUsed);
+    forEachInOrder([&](int slot) {
+        order.push_back(slot);
+        return true;
+    });
+
+    for (int slot : order) {
+        RobEntry &e = at(slot);
+        if (!e.valid || !e.needsExec || e.inFlight || e.finalized)
+            continue;
+        if (curCycle <= e.dispatchCycle)
+            continue; // earliest issue is the cycle after dispatch
+
+        // Does this entry currently want to execute?
+        bool wants = false;
+        OperandView v[2];
+        bool all_avail = true;
+        bool all_final = true;
+        for (int k = 0; k < 2; ++k) {
+            v[k] = operandView(slot, k, curCycle);
+            all_avail = all_avail && v[k].avail;
+            all_final = all_final && v[k].final;
+        }
+        // Loads with a reused/predicted address need no operands to
+        // access the cache.
+        bool addr_ready_load =
+            e.isLd && e.memAddrKnown && (e.addrReused ||
+                                         e.addrPredicted);
+        if (!all_avail && !addr_ready_load)
+            continue;
+
+        if (!e.executedOnce) {
+            wants = true;
+        } else {
+            bool changed = v[0].value != e.usedVals[0] ||
+                           v[1].value != e.usedVals[1];
+            if (!changed)
+                continue;
+            if (params.reexec == ReexecPolicy::Multiple) {
+                wants = true; // ME: re-execute on any new value
+            } else {
+                // NME: re-execute once, after operands are final.
+                wants = all_final && e.execCount < 2;
+            }
+        }
+        if (!wants)
+            continue;
+
+        // Loads must respect store disambiguation before requesting
+        // a port (a blocked load is a dataflow stall, not resource
+        // contention).
+        bool fwd = false;
+        RobRef dep;
+        bool needs_port = false;
+        if (e.isLd) {
+            if (addr_ready_load && !all_avail) {
+                // Address known speculatively; can't disambiguate
+                // against oracle yet but the paper's machine still
+                // requires older store addresses to be known.
+            }
+            if (!loadMayAccess(slot, fwd, dep))
+                continue;
+            needs_port = !fwd;
+        }
+
+        // From here on the instruction is ready: any denial is
+        // resource contention (Figure 5).
+        ++st.resourceRequests;
+        if (issued >= params.issueWidth) {
+            ++st.resourceDenied;
+            continue;
+        }
+        bool skip_agen_fu = e.isLd && (e.addrReused);
+        FuType fu = skip_agen_fu ? FuType::None
+                                 : decodeInfo(e.inst.op).fu;
+        if (!fus.available(fu, curCycle)) {
+            ++st.resourceDenied;
+            continue;
+        }
+        if (needs_port && dcachePortsUsed >= params.dcachePorts) {
+            ++st.resourceDenied;
+            continue;
+        }
+        fus.acquire(fu, curCycle, decodeInfo(e.inst.op).issueLat);
+        if (needs_port)
+            ++dcachePortsUsed;
+        issueEntry(slot);
+        ++issued;
+    }
+}
+
+// -------------------------------------------------- completion/verify
+
+void
+Core::completeEntry(int slot)
+{
+    RobEntry &e = at(slot);
+    e.inFlight = false;
+    e.executedOnce = true;
+    e.curResult = e.pendResult;
+    e.curResult2 = e.pendResult2;
+    e.curResult2Valid = true;
+    e.curTaken = e.pendTaken;
+    e.curNextPC = e.pendNextPC;
+    if (e.isLd || e.isSt) {
+        if (!e.addrReused)
+            e.curMemAddr = static_cast<Addr>(e.pendMemAddr);
+        e.memAddrKnown = true;
+    }
+    e.hasValue = producesResult(e.inst);
+    e.readyTime = curCycle;
+
+    if (e.isSt) {
+        e.storeAddrReady = true;
+        if (params.technique == Technique::IR ||
+            params.technique == Technique::Hybrid) {
+            rb.storeInvalidate(e.curMemAddr, e.memSz);
+        }
+    }
+
+    if (e.isCtrl && e.resolvable) {
+        bool vp_mode = params.technique == Technique::VP ||
+                       params.technique == Technique::Hybrid;
+        bool sb = !vp_mode ||
+                  params.branchRes == BranchResolution::Speculative;
+        if (sb)
+            e.pendingResolve = true;
+    }
+
+    if ((params.technique == Technique::IR ||
+         params.technique == Technique::Hybrid) &&
+        !e.rbInserted) {
+        insertIntoRb(slot);
+    }
+}
+
+void
+Core::processCompletions()
+{
+    forEachInOrder([&](int slot) {
+        RobEntry &e = at(slot);
+        if (e.valid && e.inFlight && e.completeAt <= curCycle)
+            completeEntry(slot);
+        return true;
+    });
+}
+
+void
+Core::finalizeScan()
+{
+    forEachInOrder([&](int slot) {
+        RobEntry &e = at(slot);
+        if (!e.valid || e.finalized || e.inFlight)
+            return true;
+        if (!e.needsExec || !e.executedOnce)
+            return true;
+
+        bool ops_final = true;
+        for (int k = 0; k < 2; ++k) {
+            OperandView v = operandView(slot, k, curCycle);
+            if (!v.final) {
+                ops_final = false;
+                break;
+            }
+        }
+        if (!ops_final)
+            return true;
+
+        // The last execution must have consumed the final (oracle)
+        // operand values; otherwise a re-execution is still due.
+        if (e.usedVals[0] != e.exec.srcVals[0] ||
+            e.usedVals[1] != e.exec.srcVals[1]) {
+            return true;
+        }
+
+        e.finalized = true;
+        e.finalizeAt = curCycle + (e.predicted ? params.vpVerifyLatency
+                                               : 0);
+        if (e.predicted && e.predValue != e.exec.out.result)
+            ++st.valueMispredictEvents;
+        return true;
+    });
+}
+
+// ---------------------------------------------------------- resolution
+
+void
+Core::doResolve(int slot, Addr computed_next, bool is_final)
+{
+    RobEntry &e = at(slot);
+    e.resolvedForFetch = true;
+    if (is_final)
+        e.finalActionDone = true;
+    if (computed_next == e.exec.out.nextPC &&
+        e.correctResolveAt == UINT64_MAX) {
+        e.correctResolveAt = curCycle;
+    }
+    if (computed_next != e.followedNextPC)
+        squashAfter(slot, computed_next);
+}
+
+void
+Core::resolveControl()
+{
+    // Oldest-first; a squash removes all younger entries, so restart
+    // scanning is unnecessary (they are gone).
+    std::vector<int> order;
+    forEachInOrder([&](int slot) {
+        order.push_back(slot);
+        return true;
+    });
+    for (int slot : order) {
+        RobEntry &e = at(slot);
+        if (!e.valid || !e.isCtrl || !e.resolvable)
+            continue;
+        bool nsb = (params.technique == Technique::VP ||
+                    params.technique == Technique::Hybrid) &&
+                   params.branchRes == BranchResolution::NonSpeculative;
+        if (nsb) {
+            if (e.finalized && e.finalizeAt <= curCycle &&
+                !e.finalActionDone) {
+                doResolve(slot, e.curNextPC, true);
+            }
+        } else if (e.pendingResolve) {
+            e.pendingResolve = false;
+            bool fin = e.finalized && e.finalizeAt <= curCycle;
+            doResolve(slot, e.curNextPC, fin);
+        }
+    }
+}
+
+// -------------------------------------------------------------- squash
+
+void
+Core::rebuildRename()
+{
+    for (auto &r : regProducer)
+        r = RobRef{};
+    forEachInOrder([&](int slot) {
+        const RobEntry &e = at(slot);
+        DstRegs d = dstRegs(e.inst);
+        for (RegId r : d.dst) {
+            if (r != REG_INVALID)
+                regProducer[r] = RobRef{slot, e.seq};
+        }
+        return true;
+    });
+}
+
+void
+Core::squashAfter(int slot, Addr redirect)
+{
+    RobEntry &e = at(slot);
+
+    ++st.branchSquashes;
+    bool legit = redirect == e.exec.out.nextPC &&
+                 e.predNextPC != e.exec.out.nextPC &&
+                 !e.legitSquashCounted;
+    if (legit)
+        e.legitSquashCounted = true;
+    else
+        ++st.spuriousSquashes;
+
+    // Drop everything younger than the squashing instruction.
+    while (robUsed > 0) {
+        int last = (robTail + static_cast<int>(params.robEntries) - 1) %
+                   static_cast<int>(params.robEntries);
+        RobEntry &y = at(last);
+        if (y.seq <= e.seq)
+            break;
+        if (y.execCount > 0) { // includes executions still in flight
+            ++st.squashedExecuted;
+            if ((params.technique == Technique::IR ||
+                 params.technique == Technique::Hybrid) &&
+                y.rbInserted) {
+                rb.markSquashed(y.rbEntry);
+            }
+        }
+        y.valid = false;
+        robTail = last;
+        --robUsed;
+    }
+    while (!lsq.empty() &&
+           (!refAlive(lsq.back().rob) || lsq.back().rob.seq > e.seq)) {
+        lsq.pop_back();
+    }
+    rebuildRename();
+
+    state.rollback(e.postMark);
+
+    // Repair the speculative predictor state: restore the snapshot
+    // taken before this instruction predicted, then re-apply its own
+    // effect with the outcome just used for the redirect.
+    bpred.restore(e.bpCp);
+    if (isCondBranch(e.inst.op))
+        bpred.forceHistoryBit(e.curTaken);
+    if (isCall(e.inst.op))
+        bpred.redoCall(e.pc + 4);
+    if (isReturn(e.inst))
+        bpred.redoReturn();
+
+    e.followedNextPC = redirect;
+    fetchQueue.clear();
+    fetchPC = redirect;
+    fetchResumeCycle = curCycle + 1;
+    fetchHalted = false;
+    icacheStallUntil = 0;
+}
+
+// ------------------------------------------------------------ RB fill
+
+void
+Core::insertIntoRb(int slot)
+{
+    RobEntry &e = at(slot);
+    if (e.cls == InstClass::Nop || e.isHalt)
+        return;
+
+    RbInsertInfo info;
+    info.pc = e.pc;
+    info.inst = e.inst;
+    for (int k = 0; k < 2; ++k) {
+        info.srcReg[k] = e.srcReg[k];
+        info.srcVal[k] = e.exec.srcVals[k];
+    }
+    info.result = e.exec.out.result;
+    info.result2 = e.exec.out.result2;
+    info.taken = e.exec.out.taken;
+    info.nextPC = e.exec.out.nextPC;
+    info.memAddr = e.exec.out.memAddr;
+    info.memValue = e.isLd ? e.exec.out.result : 0;
+
+    RbRef ref = rb.insert(info);
+
+    // Dependence pointers: exact program-order producers resolved
+    // through the ROB (still-alive producers carry their RB entry).
+    RbRef links[2];
+    for (int k = 0; k < 2; ++k) {
+        const RobRef &p = e.srcRob[k];
+        if (refAlive(p)) {
+            const RobEntry &pe = at(p.slot);
+            if (pe.rbEntry.valid())
+                links[k] = pe.rbEntry;
+        }
+    }
+    rb.linkSources(ref, links);
+
+    e.rbEntry = ref;
+    e.rbInserted = true;
+}
+
+// -------------------------------------------------------------- commit
+
+namespace
+{
+
+/** VPIR_BPRED_DEBUG=1: per-PC conditional mispredict histogram. */
+std::map<Addr, std::pair<uint64_t, uint64_t>> bpredDebugMap;
+
+bool
+bpredDebugEnabled()
+{
+    static const bool on = std::getenv("VPIR_BPRED_DEBUG") != nullptr;
+    return on;
+}
+
+} // anonymous namespace
+
+void
+dumpBpredDebug()
+{
+    std::vector<std::pair<Addr, std::pair<uint64_t, uint64_t>>> v(
+        bpredDebugMap.begin(), bpredDebugMap.end());
+    std::sort(v.begin(), v.end(), [](const auto &a, const auto &b) {
+        return a.second.second > b.second.second;
+    });
+    for (size_t i = 0; i < v.size() && i < 12; ++i) {
+        std::fprintf(stderr, "  pc=0x%x execs=%llu miss=%llu (%.1f%%)\n",
+                     v[i].first,
+                     static_cast<unsigned long long>(v[i].second.first),
+                     static_cast<unsigned long long>(v[i].second.second),
+                     100.0 * static_cast<double>(v[i].second.second) /
+                         static_cast<double>(v[i].second.first));
+    }
+    bpredDebugMap.clear();
+}
+
+void
+Core::trainPredictors(RobEntry &e)
+{
+    if (e.isCtrl) {
+        bpred.update(e.pc, e.inst, e.exec.out.taken, e.exec.out.nextPC,
+                     e.ghrUsed);
+        if (isCondBranch(e.inst.op)) {
+            ++st.condBranches;
+            if (e.predTaken != e.exec.out.taken)
+                ++st.condMispredicted;
+            if (bpredDebugEnabled()) {
+                auto &d = bpredDebugMap[e.pc];
+                ++d.first;
+                if (e.predTaken != e.exec.out.taken)
+                    ++d.second;
+            }
+        }
+        if (isReturn(e.inst)) {
+            ++st.returns;
+            if (e.predNextPC != e.exec.out.nextPC)
+                ++st.returnMispredicted;
+        }
+        if (e.resolvable && e.correctResolveAt != UINT64_MAX) {
+            st.branchResLatSum += e.correctResolveAt - e.dispatchCycle;
+            ++st.branchResCount;
+        }
+    }
+
+    if (params.technique == Technique::VP ||
+        params.technique == Technique::Hybrid) {
+        if (producesResult(e.inst) && !e.isSt &&
+            e.inst.rd != REG_INVALID) {
+            vptResult.update(e.pc, e.exec.out.result, e.madePred);
+            if (e.predicted) {
+                ++st.vpResultPredicted;
+                if (e.predValue == e.exec.out.result)
+                    ++st.vpResultCorrect;
+                else
+                    ++st.vpResultWrong;
+            }
+        }
+        if (e.isLd || e.isSt) {
+            vptAddr.update(e.pc, e.exec.out.memAddr, e.madeAddrPred);
+            if (e.addrPredicted) {
+                ++st.vpAddrPredicted;
+                if (e.addrPredValue == e.exec.out.memAddr)
+                    ++st.vpAddrCorrect;
+                else
+                    ++st.vpAddrWrong;
+            }
+        }
+    }
+}
+
+void
+Core::recordCommitStats(RobEntry &e)
+{
+    ++st.committedInsts;
+    if (e.isLd || e.isSt) {
+        ++st.committedMemOps;
+        if (e.isLd)
+            ++st.committedLoads;
+        else
+            ++st.committedStores;
+    }
+    if (e.reused || e.reusedLate)
+        ++st.reusedResults;
+    if (e.isCtrl && e.resolvable) {
+        ++st.resolvableControl;
+        if (e.reused)
+            ++st.reusedControl;
+    }
+    if (e.addrReused || ((e.reused || e.reusedLate) && (e.isLd || e.isSt)))
+        ++st.reusedAddrs;
+    if (e.execCount > 0) {
+        unsigned b = static_cast<unsigned>(
+            std::min(e.execCount, 4)) - 1;
+        ++st.execCountHist[b];
+    }
+    trainPredictors(e);
+}
+
+void
+Core::commitStage()
+{
+    unsigned commits = 0;
+    while (commits < params.commitWidth && robUsed > 0 && !done) {
+        RobEntry &e = at(robHead);
+        if (!(e.finalized && e.finalizeAt <= curCycle) || e.inFlight)
+            break;
+        if (e.isCtrl && e.resolvable && !e.finalActionDone) {
+            // SB resolutions mark final action lazily; the final
+            // publication necessarily happened, so take it now.
+            if (e.curNextPC == e.followedNextPC) {
+                e.finalActionDone = true;
+                if (e.correctResolveAt == UINT64_MAX)
+                    e.correctResolveAt = curCycle;
+            } else {
+                break; // resolution pending; cannot commit yet
+            }
+        }
+        VPIR_ASSERT(!e.isCtrl || e.followedNextPC == e.exec.out.nextPC,
+                    "committing a control instruction on a wrong path");
+
+        if (e.isHalt) {
+            done = true;
+            st.haltedCleanly = true;
+            ++st.committedInsts;
+            // Discard still-buffered wrong-path/young writes so the
+            // emulator state is exactly the architectural state at
+            // the halt (end-state equivalence with pure emulation).
+            state.rollback(e.postMark);
+            break;
+        }
+
+        if (e.isSt) {
+            if (dcachePortsUsed >= params.dcachePorts) {
+                ++st.resourceRequests;
+                ++st.resourceDenied;
+                break;
+            }
+            ++dcachePortsUsed;
+            dcache.access(e.curMemAddr);
+        }
+
+        recordCommitStats(e);
+        state.retire(e.postMark);
+
+        if (!lsq.empty() && refAlive(lsq.front().rob) &&
+            lsq.front().rob.seq == e.seq) {
+            lsq.pop_front();
+        }
+
+        DstRegs d = dstRegs(e.inst);
+        for (RegId r : d.dst) {
+            if (r != REG_INVALID && regProducer[r].slot == robHead &&
+                regProducer[r].seq == e.seq) {
+                regProducer[r] = RobRef{};
+            }
+        }
+
+        e.valid = false;
+        robHead = (robHead + 1) % static_cast<int>(params.robEntries);
+        --robUsed;
+        ++commits;
+
+        if (st.committedInsts >= params.maxInsts)
+            done = true;
+    }
+}
+
+// ---------------------------------------------------------------- run
+
+bool
+Core::cycle()
+{
+    if (done)
+        return false;
+    dcachePortsUsed = 0;
+    processCompletions();
+    finalizeScan();
+    resolveControl();
+    commitStage();
+    if (!done) {
+        issueStage();
+        dispatchStage();
+        fetchStage();
+    }
+    ++curCycle;
+    ++st.cycles;
+    if (st.cycles >= params.maxCycles)
+        done = true;
+    return !done;
+}
+
+const CoreStats &
+Core::run()
+{
+    while (cycle()) {
+    }
+    st.icacheAccesses = icache.accesses();
+    st.icacheMisses = icache.misses();
+    st.dcacheAccesses = dcache.accesses();
+    st.dcacheMisses = dcache.misses();
+    return st;
+}
+
+} // namespace vpir

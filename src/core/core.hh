@@ -1,0 +1,253 @@
+/**
+ * @file
+ * The 4-way dynamically scheduled superscalar core (paper Table 1),
+ * with pluggable Value Prediction and Instruction Reuse.
+ *
+ * Modelling approach (see DESIGN.md §5): the functional emulator runs
+ * in dispatch order along the *fetched* path — wrong paths included —
+ * via the undo journal, giving each dynamic instruction its
+ * correct-for-that-path ("oracle") results at dispatch. Timing is
+ * modelled on top: when values become available, which of them are
+ * value-speculative, when predictions verify, and when branches
+ * resolve. Executions with speculative inputs re-evaluate the
+ * instruction semantics with the speculative values, so branches fed
+ * by wrong predictions compute genuinely wrong outcomes and trigger
+ * the paper's spurious squashes under SB resolution.
+ */
+
+#ifndef VPIR_CORE_CORE_HH
+#define VPIR_CORE_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "bpred/bpred.hh"
+#include "core/core_stats.hh"
+#include "core/fu_pool.hh"
+#include "core/params.hh"
+#include "emu/executor.hh"
+#include "emu/state.hh"
+#include "mem/cache.hh"
+#include "reuse/reuse_buffer.hh"
+#include "vp/vpt.hh"
+
+namespace vpir
+{
+
+/** Reference to a ROB slot guarded by a sequence number. */
+struct RobRef
+{
+    int slot = -1;
+    uint64_t seq = 0;
+
+    bool valid() const { return slot >= 0; }
+};
+
+/** One in-flight instruction (reorder buffer / RUU entry). */
+struct RobEntry
+{
+    bool valid = false;
+    uint64_t seq = 0;           //!< dynamic sequence number
+    Addr pc = 0;
+    Instr inst;
+    InstClass cls = InstClass::Nop;
+    ExecResult exec;            //!< oracle outcome along this path
+    JournalMark postMark = 0;   //!< journal position after emu step
+    uint64_t dispatchCycle = 0;
+
+    // Renamed sources.
+    RegId srcReg[2] = {REG_INVALID, REG_INVALID};
+    RobRef srcRob[2];           //!< in-flight producers (invalid = arch)
+
+    // Dataflow timing state.
+    bool needsExec = true;      //!< occupies an FU when issued
+    bool inFlight = false;      //!< execution outstanding
+    uint64_t completeAt = 0;    //!< scheduled completion cycle
+    bool executedOnce = false;
+    int execCount = 0;
+    bool hasValue = false;      //!< some value (pred/reuse/computed)
+    uint64_t readyTime = 0;     //!< cycle the current value is usable
+    bool finalized = false;     //!< value verified non-speculative
+    uint64_t finalizeAt = UINT64_MAX;
+    uint64_t usedVals[2] = {0, 0};   //!< operand values of last issue
+    bool usedFinal[2] = {true, true};
+
+    // Current (possibly speculative) values.
+    uint64_t curResult = 0;
+    uint64_t curResult2 = 0;
+    bool curResult2Valid = false;
+    bool curTaken = false;
+    Addr curNextPC = 0;
+    Addr curMemAddr = 0;
+    bool memAddrKnown = false;  //!< address computed (or reused/pred)
+
+    // Value prediction state.
+    bool predicted = false;
+    uint64_t predValue = 0;
+    VptPrediction madePred;     //!< for VPT training
+    bool addrPredicted = false;
+    uint64_t addrPredValue = 0;
+    VptPrediction madeAddrPred;
+
+    // Instruction reuse state.
+    bool reused = false;        //!< full result reuse
+    bool addrReused = false;
+    RbRef rbEntry;              //!< entry inserted to / reused from
+    bool rbInserted = false;
+
+    // Control state.
+    bool isCtrl = false;
+    bool resolvable = false;    //!< cond branch or indirect jump
+    bool predTaken = false;     //!< fetch's predicted direction
+    Addr predNextPC = 0;        //!< fetch's original prediction
+    Addr followedNextPC = 0;    //!< path fetch currently follows
+    uint32_t ghrUsed = 0;
+    bool fromRas = false;
+    BpredCheckpoint bpCp;
+    bool pendingResolve = false;   //!< a publication needs SB action
+    bool finalActionDone = false;  //!< final-outcome action happened
+    bool resolvedForFetch = false; //!< counts against the 8-branch cap
+    bool legitSquashCounted = false;
+    uint64_t correctResolveAt = UINT64_MAX; //!< first oracle-consistent
+                                            //!< resolution (Figure 4)
+
+    // Pending execution outputs (published at completion).
+    uint64_t pendResult = 0;
+    uint64_t pendResult2 = 0;
+    bool pendTaken = false;
+    Addr pendNextPC = 0;
+    Addr pendMemAddr = 0;
+
+    bool reusedLate = false;    //!< Figure 3 late-validation reuse hit
+    // Memory state.
+    bool isLd = false;
+    bool isSt = false;
+    unsigned memSz = 0;
+    bool storeAddrReady = false; //!< AGEN done (for disambiguation)
+
+    bool isHalt = false;
+};
+
+/** Load/store queue entry. */
+struct LsqEntry
+{
+    RobRef rob;
+    bool isLoad = false;
+};
+
+/** Everything fetch hands to dispatch for one instruction. */
+struct FetchedInst
+{
+    Addr pc = 0;
+    Instr inst;
+    bool isCtrl = false;
+    Addr predNextPC = 0;
+    bool predTaken = false;
+    uint32_t ghrUsed = 0;
+    bool fromRas = false;
+    BpredCheckpoint bpCp;
+};
+
+/** Dump and reset the VPIR_BPRED_DEBUG per-PC histogram. */
+void dumpBpredDebug();
+
+/** The out-of-order core. */
+class Core
+{
+  public:
+    Core(const CoreParams &params, const Program &program);
+
+    /** Run until halt or the configured limits; returns final stats. */
+    const CoreStats &run();
+
+    /** Advance one cycle. @return false when the run is over. */
+    bool cycle();
+
+    const CoreStats &stats() const { return st; }
+    uint64_t now() const { return curCycle; }
+    EmuState &emuState() { return state; }
+
+  private:
+    // --- pipeline stages (called in this order each cycle) ----------
+    void processCompletions();
+    void finalizeScan();
+    void resolveControl();
+    void commitStage();
+    void issueStage();
+    void dispatchStage();
+    void fetchStage();
+
+    // --- helpers -------------------------------------------------------
+    RobEntry &at(int slot) { return rob[slot]; }
+    const RobEntry &at(int slot) const { return rob[slot]; }
+    bool refAlive(const RobRef &r) const;
+    int allocRob();
+    void forEachInOrder(const std::function<bool(int)> &fn) const;
+
+    /** Value of register @p reg as produced by entry @p e. */
+    uint64_t entryValueFor(const RobEntry &e, RegId reg) const;
+    /** Is @p reg's value from producer @p e available at @p t? */
+    bool entryValueAvail(const RobEntry &e, RegId reg, uint64_t t) const;
+
+    struct OperandView
+    {
+        bool avail = false;
+        bool final = false;
+        uint64_t value = 0;
+    };
+    /** Current dataflow view of operand @p k of entry @p slot. */
+    OperandView operandView(int slot, int k, uint64_t t) const;
+
+    void issueEntry(int slot);
+    void completeEntry(int slot);
+    void doResolve(int slot, Addr computed_next, bool is_final);
+    void squashAfter(int slot, Addr redirect);
+    void rebuildRename();
+    unsigned unresolvedBranches() const;
+    void tryDispatchReuse(int slot);
+    void tryDispatchPredict(int slot);
+    bool loadMayAccess(int slot, bool &forward, RobRef &conflict) const;
+    void insertIntoRb(int slot);
+    void recordCommitStats(RobEntry &e);
+    void trainPredictors(RobEntry &e);
+
+    // --- configuration / substrate ----------------------------------
+    CoreParams params;
+    const Program &prog;
+    EmuState state;
+    Emulator emu;
+    Cache icache;
+    Cache dcache;
+    BranchPredUnit bpred;
+    Vpt vptResult;
+    Vpt vptAddr;
+    ReuseBuffer rb;
+    FuPool fus;
+
+    // --- machine state ----------------------------------------------
+    std::vector<RobEntry> rob;
+    int robHead = 0;
+    int robTail = 0; //!< next free slot
+    unsigned robUsed = 0;
+    std::deque<LsqEntry> lsq;
+    std::deque<FetchedInst> fetchQueue;
+    RobRef regProducer[NUM_ARCH_REGS];
+
+    Addr fetchPC;
+    uint64_t fetchResumeCycle = 0;
+    uint64_t icacheStallUntil = 0;
+    bool fetchHalted = false; //!< stopped at HALT or invalid PC
+
+    uint64_t curCycle = 0;
+    uint64_t nextSeq = 1;
+    unsigned dcachePortsUsed = 0; //!< this cycle
+    bool done = false;
+
+    CoreStats st;
+};
+
+} // namespace vpir
+
+#endif // VPIR_CORE_CORE_HH

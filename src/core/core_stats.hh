@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Raw event counters collected by the core, covering every quantity
+ * the paper's tables and figures report. Benches derive percentages
+ * and normalised series from these.
+ */
+
+#ifndef VPIR_CORE_CORE_STATS_HH
+#define VPIR_CORE_CORE_STATS_HH
+
+#include <cstdint>
+
+#include "stats/stats.hh"
+
+namespace vpir
+{
+
+/** Everything a single simulation run counts. */
+struct CoreStats
+{
+    uint64_t cycles = 0;
+    uint64_t committedInsts = 0;
+    uint64_t committedMemOps = 0;
+    uint64_t committedLoads = 0;
+    uint64_t committedStores = 0;
+
+    /** Distinct dynamic instructions that occupied an FU at least
+     *  once, wrong path included (Table 5 "Inst Executed"). */
+    uint64_t executedInsts = 0;
+    /** Executed instructions later squashed by a control squash. */
+    uint64_t squashedExecuted = 0;
+    /** Squashed-then-reused work recovered through the RB (Table 5). */
+    uint64_t squashedRecovered = 0;
+
+    /** Control squash events and their classification (Table 4). */
+    uint64_t branchSquashes = 0;
+    uint64_t spuriousSquashes = 0; //!< due to value-speculative operands
+
+    /** Conditional branch direction accuracy (Table 2). */
+    uint64_t condBranches = 0;
+    uint64_t condMispredicted = 0;
+    /** Return target accuracy (Table 2). */
+    uint64_t returns = 0;
+    uint64_t returnMispredicted = 0;
+
+    /** Branch resolution latency, decode -> final action (Figure 4),
+     *  accumulated over committed resolvable control instructions. */
+    uint64_t branchResLatSum = 0;
+    uint64_t branchResCount = 0;
+
+    /** Resource contention (Figure 5): execution resources denied to
+     *  ready instructions over total requests. */
+    uint64_t resourceRequests = 0;
+    uint64_t resourceDenied = 0;
+
+    /** Committed instructions by number of executions, buckets
+     *  1,2,3,>=4 (Table 6); non-executing (reused) insts excluded. */
+    uint64_t execCountHist[4] = {0, 0, 0, 0};
+
+    /** IR rates (Table 3), counted at commit. */
+    uint64_t reusedResults = 0;
+    uint64_t reusedAddrs = 0;
+    /** Reused control instructions (resolve at decode). */
+    uint64_t reusedControl = 0;
+    /** Committed resolvable control instructions. */
+    uint64_t resolvableControl = 0;
+
+    /** VP rates (Table 3), counted at commit. */
+    uint64_t vpResultPredicted = 0;
+    uint64_t vpResultCorrect = 0;
+    uint64_t vpResultWrong = 0;
+    uint64_t vpAddrPredicted = 0;
+    uint64_t vpAddrCorrect = 0;
+    uint64_t vpAddrWrong = 0;
+
+    /** Value misprediction recovery events (any re-execution cause). */
+    uint64_t valueMispredictEvents = 0;
+
+    /** Cache behaviour. */
+    uint64_t icacheAccesses = 0;
+    uint64_t icacheMisses = 0;
+    uint64_t dcacheAccesses = 0;
+    uint64_t dcacheMisses = 0;
+
+    bool haltedCleanly = false;
+
+    double ipc() const
+    {
+        return cycles ? static_cast<double>(committedInsts) /
+                        static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /** Export every counter into a named StatSet. */
+    void exportTo(StatSet &out) const;
+};
+
+} // namespace vpir
+
+#endif // VPIR_CORE_CORE_STATS_HH

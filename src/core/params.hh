@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Core configuration: machine widths and sizes (paper Table 1) and the
+ * technique knobs studied in the evaluation (§4.1.4): VP vs IR,
+ * speculative vs non-speculative branch resolution (SB/NSB), multiple
+ * vs single re-execution (ME/NME), 0/1-cycle VP-verification latency,
+ * and IR early vs late validation (Figure 3).
+ */
+
+#ifndef VPIR_CORE_PARAMS_HH
+#define VPIR_CORE_PARAMS_HH
+
+#include <cstdint>
+
+#include "bpred/bpred.hh"
+#include "mem/cache.hh"
+#include "reuse/reuse_buffer.hh"
+#include "vp/vpt.hh"
+
+namespace vpir
+{
+
+/** Redundancy-exploiting technique plugged into the pipeline. */
+enum class Technique : uint8_t
+{
+    None,   //!< base superscalar
+    VP,     //!< value prediction
+    IR,     //!< instruction reuse
+    Hybrid, //!< IR first, VP as the fallback (the paper's §1/§5
+            //!< "possibly hybrid of VP and IR" future direction)
+};
+
+/** How branches with value-speculative operands are resolved (§3.2). */
+enum class BranchResolution : uint8_t
+{
+    Speculative,    //!< SB: act as soon as the branch executes
+    NonSpeculative, //!< NSB: act only once operands are non-speculative
+};
+
+/** Re-execution policy under value misprediction (§4.1.4). */
+enum class ReexecPolicy : uint8_t
+{
+    Multiple, //!< ME: re-execute on every new input value
+    Single,   //!< NME: re-execute once, after correct operands known
+};
+
+/** When IR validates results (Figure 3). */
+enum class IrValidation : uint8_t
+{
+    Early, //!< at decode (real IR)
+    Late,  //!< at execute (reuse hits act as correct value predictions)
+};
+
+/** Full machine + technique configuration. */
+struct CoreParams
+{
+    // Table 1 machine.
+    unsigned fetchWidth = 4;
+    unsigned fetchQueueSize = 8;
+    unsigned dispatchWidth = 4;
+    unsigned issueWidth = 4;
+    unsigned commitWidth = 4;
+    unsigned robEntries = 32;
+    unsigned lsqEntries = 32;
+    unsigned maxUnresolvedBranches = 8;
+    unsigned dcachePorts = 2;
+
+    CacheParams icache;
+    CacheParams dcache;
+    BpredParams bpred;
+
+    // Technique under study.
+    Technique technique = Technique::None;
+    VptParams vpt;                 //!< scheme field selects Magic/LVP
+    RbParams rb;
+    BranchResolution branchRes = BranchResolution::Speculative;
+    ReexecPolicy reexec = ReexecPolicy::Multiple;
+    unsigned vpVerifyLatency = 0;  //!< 0 or 1 cycles (§4.1.4)
+    IrValidation irValidation = IrValidation::Early;
+
+    // Ablation knobs (not part of the paper's configurations).
+    bool vpPredictResults = true;   //!< VP: predict register results
+    bool vpPredictAddresses = true; //!< VP: predict load addresses
+
+    // Run limits.
+    uint64_t maxCycles = UINT64_MAX;
+    uint64_t maxInsts = UINT64_MAX;
+
+    /** Functional fast-forward before timing starts (the paper skips
+     *  1-2.5B instructions this way, §4.1.5). */
+    uint64_t warmupInsts = 0;
+};
+
+} // namespace vpir
+
+#endif // VPIR_CORE_PARAMS_HH

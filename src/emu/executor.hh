@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Instruction semantics and the functional stepper.
+ *
+ * Semantics are factored into a pure evaluator (evalInstr) that maps
+ * operand values to results, so the out-of-order core can re-evaluate
+ * instructions with *speculative* operand values: this is how branches
+ * executed with wrong value-predicted inputs compute genuinely wrong
+ * outcomes (the paper's spurious mispredictions).
+ */
+
+#ifndef VPIR_EMU_EXECUTOR_HH
+#define VPIR_EMU_EXECUTOR_HH
+
+#include <functional>
+
+#include "asm/assembler.hh"
+#include "emu/state.hh"
+#include "isa/decode.hh"
+#include "isa/instr.hh"
+
+namespace vpir
+{
+
+/** Outcome of evaluating one instruction's semantics. */
+struct SemOut
+{
+    uint64_t result = 0;      //!< value for rd
+    uint64_t result2 = 0;     //!< value for rd2 (HI)
+    bool taken = false;       //!< control: branch/jump taken
+    Addr nextPC = 0;          //!< control: next PC
+    Addr memAddr = 0;         //!< memory: effective address
+    uint64_t storeValue = 0;  //!< memory: value stored
+};
+
+/** Callback used by loads to read memory during evaluation. */
+using MemReadFn = std::function<uint64_t(Addr, unsigned)>;
+
+/**
+ * Evaluate an instruction given its operand values.
+ *
+ * @param inst  The instruction.
+ * @param pc    Its PC (for fall-through / link values).
+ * @param src0  Value of srcRegs(inst).src[0] (0 if absent).
+ * @param src1  Value of srcRegs(inst).src[1] (0 if absent).
+ * @param mem   Memory reader for loads; when null, loads return 0.
+ */
+SemOut evalInstr(const Instr &inst, Addr pc, uint64_t src0, uint64_t src1,
+                 const MemReadFn &mem);
+
+/** A fully executed dynamic instruction, as seen by the dispatcher. */
+struct ExecResult
+{
+    Addr pc = 0;
+    Instr inst;
+    SemOut out;
+    uint64_t srcVals[2] = {0, 0}; //!< architectural operand values used
+    JournalMark preMark = 0;      //!< journal position before the write
+    bool halted = false;
+};
+
+/**
+ * Functional stepper: fetches from a Program, executes on an EmuState,
+ * applies journaled writes, and advances PC.
+ */
+class Emulator
+{
+  public:
+    Emulator(const Program &program, EmuState &state);
+
+    /** Execute the instruction at the current PC. */
+    ExecResult step();
+
+    /** Execute the instruction at an explicit PC (sets PC first). */
+    ExecResult stepAt(Addr pc);
+
+    Addr pc() const { return curPC; }
+    void setPC(Addr pc) { curPC = pc; }
+    bool halted() const { return isHalted; }
+    void clearHalt() { isHalted = false; }
+
+    const Program &program() const { return prog; }
+    EmuState &state() { return st; }
+
+    /** Load the program image and initial registers into the state. */
+    static void loadProgram(const Program &program, EmuState &state);
+
+  private:
+    const Program &prog;
+    EmuState &st;
+    Addr curPC;
+    bool isHalted = false;
+};
+
+} // namespace vpir
+
+#endif // VPIR_EMU_EXECUTOR_HH

@@ -1,0 +1,139 @@
+#include "emu/state.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace vpir
+{
+
+EmuState::EmuState()
+{
+    regs.fill(0);
+}
+
+uint64_t
+EmuState::readReg(RegId r) const
+{
+    VPIR_ASSERT(r < NUM_ARCH_REGS, "register id out of range");
+    if (r == REG_ZERO)
+        return 0;
+    return regs[r];
+}
+
+void
+EmuState::writeReg(RegId r, uint64_t value)
+{
+    VPIR_ASSERT(r < NUM_ARCH_REGS, "register id out of range");
+    if (r == REG_ZERO)
+        return;
+    journal.push_back(UndoRec{true, r, 0, 0, regs[r]});
+    regs[r] = value;
+}
+
+void
+EmuState::initReg(RegId r, uint64_t value)
+{
+    VPIR_ASSERT(r < NUM_ARCH_REGS, "register id out of range");
+    if (r == REG_ZERO)
+        return;
+    regs[r] = value;
+}
+
+EmuState::Page &
+EmuState::pageFor(Addr addr)
+{
+    uint32_t pn = addr >> pageBits;
+    auto &p = pages[pn];
+    if (!p) {
+        p = std::make_unique<Page>();
+        p->fill(0);
+    }
+    return *p;
+}
+
+const EmuState::Page *
+EmuState::pageForRead(Addr addr) const
+{
+    auto it = pages.find(addr >> pageBits);
+    return it == pages.end() ? nullptr : it->second.get();
+}
+
+uint64_t
+EmuState::readMemRaw(Addr addr, unsigned size) const
+{
+    uint64_t v = 0;
+    for (unsigned b = 0; b < size; ++b) {
+        Addr a = addr + b;
+        const Page *p = pageForRead(a);
+        uint8_t byte = p ? (*p)[a & (pageSize - 1)] : 0;
+        v |= static_cast<uint64_t>(byte) << (8 * b);
+    }
+    return v;
+}
+
+void
+EmuState::writeMemRaw(Addr addr, unsigned size, uint64_t value)
+{
+    for (unsigned b = 0; b < size; ++b) {
+        Addr a = addr + b;
+        pageFor(a)[a & (pageSize - 1)] =
+            static_cast<uint8_t>(value >> (8 * b));
+    }
+}
+
+uint64_t
+EmuState::readMem(Addr addr, unsigned size) const
+{
+    return readMemRaw(addr, size);
+}
+
+void
+EmuState::writeMem(Addr addr, unsigned size, uint64_t value)
+{
+    VPIR_ASSERT(size == 1 || size == 2 || size == 4 || size == 8,
+                "bad memory access size");
+    journal.push_back(UndoRec{false, 0, static_cast<uint8_t>(size), addr,
+                              readMemRaw(addr, size)});
+    writeMemRaw(addr, size, value);
+}
+
+void
+EmuState::initMem(Addr addr, unsigned size, uint64_t value)
+{
+    writeMemRaw(addr, size, value);
+}
+
+void
+EmuState::initBytes(Addr addr, const uint8_t *data, size_t len)
+{
+    for (size_t i = 0; i < len; ++i)
+        writeMemRaw(addr + static_cast<Addr>(i), 1, data[i]);
+}
+
+void
+EmuState::rollback(JournalMark m)
+{
+    VPIR_ASSERT(m >= journalBase, "rollback past retired state");
+    while (journalBase + journal.size() > m) {
+        const UndoRec &u = journal.back();
+        if (u.isReg)
+            regs[u.reg] = u.oldValue;
+        else
+            writeMemRaw(u.addr, u.size, u.oldValue);
+        journal.pop_back();
+    }
+}
+
+void
+EmuState::retire(JournalMark m)
+{
+    VPIR_ASSERT(m <= journalBase + journal.size(),
+                "retire beyond journal head");
+    while (journalBase < m) {
+        journal.pop_front();
+        ++journalBase;
+    }
+}
+
+} // namespace vpir

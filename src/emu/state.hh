@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Architectural state with an undo journal.
+ *
+ * The simulator executes instructions functionally in dispatch order,
+ * including down mispredicted paths (needed to model IR's recovery of
+ * squashed work and VP's spurious branch redirects). Every register
+ * and memory write is journaled; a squash rolls the journal back to
+ * the offending branch's position, restoring the exact architectural
+ * state the correct path must see.
+ */
+
+#ifndef VPIR_EMU_STATE_HH
+#define VPIR_EMU_STATE_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "isa/instr.hh"
+#include "isa/regs.hh"
+
+namespace vpir
+{
+
+/** Position in the undo journal (monotonically increasing). */
+using JournalMark = uint64_t;
+
+/** Registers + sparse paged memory + undo journal. */
+class EmuState
+{
+  public:
+    EmuState();
+
+    // --- registers ---------------------------------------------------
+    /** Read a register (r0 reads as zero). */
+    uint64_t readReg(RegId r) const;
+
+    /** Journaled register write (writes to r0 are dropped). */
+    void writeReg(RegId r, uint64_t value);
+
+    /** Non-journaled write, for initialisation only. */
+    void initReg(RegId r, uint64_t value);
+
+    // --- memory --------------------------------------------------------
+    /** Read size bytes little-endian (size 1, 2, 4 or 8). */
+    uint64_t readMem(Addr addr, unsigned size) const;
+
+    /** Journaled memory write. */
+    void writeMem(Addr addr, unsigned size, uint64_t value);
+
+    /** Non-journaled write, for loading the initial image. */
+    void initMem(Addr addr, unsigned size, uint64_t value);
+
+    /** Bulk non-journaled initialisation. */
+    void initBytes(Addr addr, const uint8_t *data, size_t len);
+
+    // --- journal -------------------------------------------------------
+    /** Current journal position; instructions record this before
+     *  executing so squashes can restore the state exactly. */
+    JournalMark mark() const { return journalBase + journal.size(); }
+
+    /** Undo all writes made at or after @p m. */
+    void rollback(JournalMark m);
+
+    /** Discard journal entries older than @p m (commit). */
+    void retire(JournalMark m);
+
+    /** Number of live journal records (test/diagnostic hook). */
+    size_t journalDepth() const { return journal.size(); }
+
+  private:
+    struct UndoRec
+    {
+        bool isReg;
+        RegId reg;
+        uint8_t size;   //!< bytes, memory records only
+        Addr addr;
+        uint64_t oldValue;
+    };
+
+    static constexpr unsigned pageBits = 12;
+    static constexpr uint32_t pageSize = 1u << pageBits;
+    using Page = std::array<uint8_t, pageSize>;
+
+    Page &pageFor(Addr addr);
+    const Page *pageForRead(Addr addr) const;
+
+    uint64_t readMemRaw(Addr addr, unsigned size) const;
+    void writeMemRaw(Addr addr, unsigned size, uint64_t value);
+
+    std::array<uint64_t, NUM_ARCH_REGS> regs;
+    std::unordered_map<uint32_t, std::unique_ptr<Page>> pages;
+    std::deque<UndoRec> journal;
+    JournalMark journalBase = 0;
+};
+
+} // namespace vpir
+
+#endif // VPIR_EMU_STATE_HH

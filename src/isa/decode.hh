@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Static decode information: instruction class, functional unit
+ * requirements and latencies (paper Table 1), source/destination
+ * register extraction, and memory access attributes.
+ */
+
+#ifndef VPIR_ISA_DECODE_HH
+#define VPIR_ISA_DECODE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "isa/instr.hh"
+
+namespace vpir
+{
+
+/** Broad instruction classes used by scheduling and statistics. */
+enum class InstClass : uint8_t
+{
+    Nop,
+    IntAlu,
+    IntMult,
+    IntDiv,
+    Load,
+    Store,
+    Branch,   //!< conditional branches (incl. BC1x)
+    Jump,     //!< unconditional J/JAL/JR/JALR
+    FpAdd,    //!< add/sub/compare/convert/move
+    FpMult,
+    FpDiv,
+    FpSqrt,
+    Halt,
+};
+
+/** Functional unit kinds, with pool sizes from Table 1. */
+enum class FuType : uint8_t
+{
+    None,      //!< no FU needed (NOP/HALT)
+    IntAlu,    //!< 8 units; also executes branches/jumps
+    LoadStore, //!< 2 units
+    FpAdder,   //!< 4 units
+    IntMulDiv, //!< 1 unit
+    FpMulDiv,  //!< 1 unit
+    NUM_TYPES
+};
+
+/** Pool size for each FU type (Table 1). */
+unsigned fuPoolSize(FuType t);
+
+/** Per-opcode static information. */
+struct DecodeInfo
+{
+    InstClass cls;
+    FuType fu;
+    uint8_t opLat;    //!< total execution latency, cycles
+    uint8_t issueLat; //!< cycles before the FU accepts another op
+};
+
+/** Decode table lookup. */
+const DecodeInfo &decodeInfo(Op op);
+
+/** Up to two source registers (REG_INVALID when absent). */
+struct SrcRegs
+{
+    RegId src[2];
+};
+
+/** Extract the architectural source registers of an instruction. */
+SrcRegs srcRegs(const Instr &inst);
+
+/** Up to two destination registers (REG_INVALID when absent). */
+struct DstRegs
+{
+    RegId dst[2];
+};
+
+/** Extract the architectural destination registers. */
+DstRegs dstRegs(const Instr &inst);
+
+/** Memory access size in bytes (0 for non-memory ops). */
+unsigned memSize(Op op);
+
+inline bool
+isLoad(Op op)
+{
+    return decodeInfo(op).cls == InstClass::Load;
+}
+
+inline bool
+isStore(Op op)
+{
+    return decodeInfo(op).cls == InstClass::Store;
+}
+
+inline bool
+isMem(Op op)
+{
+    return isLoad(op) || isStore(op);
+}
+
+inline bool
+isCondBranch(Op op)
+{
+    return decodeInfo(op).cls == InstClass::Branch;
+}
+
+inline bool
+isJump(Op op)
+{
+    return decodeInfo(op).cls == InstClass::Jump;
+}
+
+/** Any control transfer: conditional branch or jump. */
+inline bool
+isControl(Op op)
+{
+    return isCondBranch(op) || isJump(op);
+}
+
+/** True for JR/JALR whose target comes from a register. */
+inline bool
+isIndirectJump(Op op)
+{
+    return op == Op::JR || op == Op::JALR;
+}
+
+/** True for call-like ops that push the return address (JAL/JALR). */
+inline bool
+isCall(Op op)
+{
+    return op == Op::JAL || op == Op::JALR;
+}
+
+/** True for JR r31, i.e. a function return (by convention). */
+inline bool
+isReturn(const Instr &inst)
+{
+    return inst.op == Op::JR && inst.rs == REG_RA;
+}
+
+/** True when the instruction produces a register result. */
+inline bool
+producesResult(const Instr &inst)
+{
+    return inst.rd != REG_INVALID || inst.rd2 != REG_INVALID;
+}
+
+} // namespace vpir
+
+#endif // VPIR_ISA_DECODE_HH

@@ -1,0 +1,138 @@
+#include "isa/disasm.hh"
+
+#include <cstdio>
+
+#include "isa/decode.hh"
+
+namespace vpir
+{
+
+std::string
+regName(RegId r)
+{
+    char buf[16];
+    if (isIntReg(r)) {
+        std::snprintf(buf, sizeof(buf), "r%u", static_cast<unsigned>(r));
+        return buf;
+    }
+    if (isFpReg(r)) {
+        std::snprintf(buf, sizeof(buf), "f%u",
+                      static_cast<unsigned>(r - REG_FP_BASE));
+        return buf;
+    }
+    if (r == REG_HI)
+        return "hi";
+    if (r == REG_LO)
+        return "lo";
+    if (r == REG_FCC)
+        return "fcc";
+    return "r?";
+}
+
+std::string
+opName(Op op)
+{
+    switch (op) {
+      case Op::NOP: return "nop";
+      case Op::ADD: return "add";
+      case Op::SUB: return "sub";
+      case Op::AND: return "and";
+      case Op::OR: return "or";
+      case Op::XOR: return "xor";
+      case Op::NOR: return "nor";
+      case Op::SLT: return "slt";
+      case Op::SLTU: return "sltu";
+      case Op::SLLV: return "sllv";
+      case Op::SRLV: return "srlv";
+      case Op::SRAV: return "srav";
+      case Op::ADDI: return "addi";
+      case Op::ANDI: return "andi";
+      case Op::ORI: return "ori";
+      case Op::XORI: return "xori";
+      case Op::SLTI: return "slti";
+      case Op::SLTIU: return "sltiu";
+      case Op::SLL: return "sll";
+      case Op::SRL: return "srl";
+      case Op::SRA: return "sra";
+      case Op::LUI: return "lui";
+      case Op::LI: return "li";
+      case Op::MULT: return "mult";
+      case Op::MULTU: return "multu";
+      case Op::DIV: return "div";
+      case Op::DIVU: return "divu";
+      case Op::MFHI: return "mfhi";
+      case Op::MFLO: return "mflo";
+      case Op::LB: return "lb";
+      case Op::LBU: return "lbu";
+      case Op::LH: return "lh";
+      case Op::LHU: return "lhu";
+      case Op::LW: return "lw";
+      case Op::SB: return "sb";
+      case Op::SH: return "sh";
+      case Op::SW: return "sw";
+      case Op::L_D: return "l.d";
+      case Op::S_D: return "s.d";
+      case Op::BEQ: return "beq";
+      case Op::BNE: return "bne";
+      case Op::BLEZ: return "blez";
+      case Op::BGTZ: return "bgtz";
+      case Op::BLTZ: return "bltz";
+      case Op::BGEZ: return "bgez";
+      case Op::J: return "j";
+      case Op::JAL: return "jal";
+      case Op::JR: return "jr";
+      case Op::JALR: return "jalr";
+      case Op::BC1T: return "bc1t";
+      case Op::BC1F: return "bc1f";
+      case Op::ADD_D: return "add.d";
+      case Op::SUB_D: return "sub.d";
+      case Op::MUL_D: return "mul.d";
+      case Op::DIV_D: return "div.d";
+      case Op::SQRT_D: return "sqrt.d";
+      case Op::MOV_D: return "mov.d";
+      case Op::NEG_D: return "neg.d";
+      case Op::C_EQ_D: return "c.eq.d";
+      case Op::C_LT_D: return "c.lt.d";
+      case Op::C_LE_D: return "c.le.d";
+      case Op::CVT_D_W: return "cvt.d.w";
+      case Op::CVT_W_D: return "cvt.w.d";
+      case Op::HALT: return "halt";
+      default: return "op?";
+    }
+}
+
+std::string
+disassemble(const Instr &inst)
+{
+    char buf[96];
+    const std::string name = opName(inst.op);
+    if (isMem(inst.op)) {
+        if (isLoad(inst.op)) {
+            std::snprintf(buf, sizeof(buf), "%-7s %s, %d(%s)", name.c_str(),
+                          regName(inst.rd).c_str(), inst.imm,
+                          regName(inst.rs).c_str());
+        } else {
+            std::snprintf(buf, sizeof(buf), "%-7s %s, %d(%s)", name.c_str(),
+                          regName(inst.rt).c_str(), inst.imm,
+                          regName(inst.rs).c_str());
+        }
+        return buf;
+    }
+    if (isControl(inst.op)) {
+        std::snprintf(buf, sizeof(buf), "%-7s %s,%s -> 0x%x", name.c_str(),
+                      inst.rs == REG_INVALID ? "-"
+                                             : regName(inst.rs).c_str(),
+                      inst.rt == REG_INVALID ? "-"
+                                             : regName(inst.rt).c_str(),
+                      inst.target);
+        return buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%-7s %s, %s, %s, imm=%d", name.c_str(),
+                  inst.rd == REG_INVALID ? "-" : regName(inst.rd).c_str(),
+                  inst.rs == REG_INVALID ? "-" : regName(inst.rs).c_str(),
+                  inst.rt == REG_INVALID ? "-" : regName(inst.rt).c_str(),
+                  inst.imm);
+    return buf;
+}
+
+} // namespace vpir

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Human-readable rendering of instructions, for debugging and the
+ * assembler's listing output.
+ */
+
+#ifndef VPIR_ISA_DISASM_HH
+#define VPIR_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/instr.hh"
+
+namespace vpir
+{
+
+/** Render one instruction as assembly-like text. */
+std::string disassemble(const Instr &inst);
+
+} // namespace vpir
+
+#endif // VPIR_ISA_DISASM_HH

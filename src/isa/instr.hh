@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Instruction set definition: opcodes and the decoded instruction
+ * record the rest of the simulator operates on.
+ *
+ * The ISA is a MIPS-I-like RISC defined for this reproduction (the
+ * original study used SimpleScalar's MIPS-I derivative; see DESIGN.md
+ * for the substitution argument). Programs are stored pre-decoded:
+ * one Instr per word-aligned PC.
+ */
+
+#ifndef VPIR_ISA_INSTR_HH
+#define VPIR_ISA_INSTR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/regs.hh"
+
+namespace vpir
+{
+
+/** Word address type: byte address, instruction PCs are multiples of 4. */
+using Addr = uint32_t;
+
+/** Opcode set. */
+enum class Op : uint8_t
+{
+    NOP,
+
+    // Integer ALU, register forms.
+    ADD, SUB, AND, OR, XOR, NOR, SLT, SLTU,
+    SLLV, SRLV, SRAV,
+
+    // Integer ALU, immediate forms (imm in Instr::imm).
+    ADDI, ANDI, ORI, XORI, SLTI, SLTIU,
+    SLL, SRL, SRA,       //!< shift by immediate (shamt in imm)
+    LUI,                 //!< rd = imm << 16
+    LI,                  //!< rd = imm (32-bit literal convenience op)
+
+    // Multiply / divide (write HI and LO).
+    MULT, MULTU, DIV, DIVU,
+    MFHI, MFLO,
+
+    // Memory.
+    LB, LBU, LH, LHU, LW,
+    SB, SH, SW,
+    L_D, S_D,            //!< 8-byte FP load/store
+
+    // Control.
+    BEQ, BNE, BLEZ, BGTZ, BLTZ, BGEZ,
+    J, JAL, JR, JALR,
+    BC1T, BC1F,          //!< branch on FP condition code
+
+    // Floating point (double precision).
+    ADD_D, SUB_D, MUL_D, DIV_D, SQRT_D,
+    MOV_D, NEG_D,
+    C_EQ_D, C_LT_D, C_LE_D,  //!< compare, write FCC
+    CVT_D_W,             //!< int reg -> double in FP reg
+    CVT_W_D,             //!< double -> int reg (truncate)
+
+    // Simulation control.
+    HALT,
+
+    NUM_OPS
+};
+
+/**
+ * A decoded instruction. Fields not used by an opcode are
+ * REG_INVALID / 0. Branch and jump targets are absolute byte
+ * addresses resolved by the assembler.
+ */
+struct Instr
+{
+    Op op = Op::NOP;
+    RegId rd = REG_INVALID;   //!< primary destination
+    RegId rd2 = REG_INVALID;  //!< secondary destination (HI for mult/div)
+    RegId rs = REG_INVALID;   //!< first source
+    RegId rt = REG_INVALID;   //!< second source
+    int32_t imm = 0;          //!< immediate / shift amount / displacement
+    Addr target = 0;          //!< branch or jump target (byte address)
+};
+
+/** Opcode mnemonic. */
+std::string opName(Op op);
+
+} // namespace vpir
+
+#endif // VPIR_ISA_INSTR_HH

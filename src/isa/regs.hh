@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Architectural register name space.
+ *
+ * The paper's machine architects 32 integer registers plus HI/LO, 32
+ * floating point registers, and the FP condition code (Table 1). We
+ * map all of them into one flat id space so that renaming, dependence
+ * tracking, and the reuse buffer's register-name invalidation treat
+ * every kind of register uniformly.
+ */
+
+#ifndef VPIR_ISA_REGS_HH
+#define VPIR_ISA_REGS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace vpir
+{
+
+/** Flat architectural register id. */
+using RegId = uint8_t;
+
+constexpr RegId REG_ZERO = 0;    //!< integer r0, hardwired to 0
+constexpr RegId REG_INT_BASE = 0;
+constexpr unsigned NUM_INT_REGS = 32;
+
+constexpr RegId REG_HI = 32;
+constexpr RegId REG_LO = 33;
+
+constexpr RegId REG_FP_BASE = 34;
+constexpr unsigned NUM_FP_REGS = 32;
+
+constexpr RegId REG_FCC = 66;    //!< FP condition code
+
+constexpr unsigned NUM_ARCH_REGS = 67;
+
+constexpr RegId REG_INVALID = 0xff;
+
+/** ABI-ish aliases used by the workload kernels. */
+constexpr RegId REG_SP = 29;     //!< stack pointer
+constexpr RegId REG_RA = 31;     //!< return address (written by JAL)
+
+/** Integer register id helper (r0..r31). */
+constexpr RegId
+intReg(unsigned n)
+{
+    return static_cast<RegId>(REG_INT_BASE + n);
+}
+
+/** FP register id helper (f0..f31). */
+constexpr RegId
+fpReg(unsigned n)
+{
+    return static_cast<RegId>(REG_FP_BASE + n);
+}
+
+/** True for integer register ids (including r0). */
+constexpr bool
+isIntReg(RegId r)
+{
+    return r < NUM_INT_REGS;
+}
+
+/** True for FP register ids. */
+constexpr bool
+isFpReg(RegId r)
+{
+    return r >= REG_FP_BASE && r < REG_FP_BASE + NUM_FP_REGS;
+}
+
+/** Printable register name. */
+std::string regName(RegId r);
+
+} // namespace vpir
+
+#endif // VPIR_ISA_REGS_HH

@@ -1,0 +1,157 @@
+#include "redundancy/redundancy.hh"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "emu/executor.hh"
+#include "emu/state.hh"
+#include "isa/decode.hh"
+
+namespace vpir
+{
+
+namespace
+{
+
+/** Mix two operand values into one lookup key. */
+uint64_t
+operandKey(uint64_t a, uint64_t b)
+{
+    uint64_t h = a * 0x9e3779b97f4a7c15ull;
+    h ^= (b + 0x517cc1b727220a95ull) + (h << 6) + (h >> 2);
+    return h;
+}
+
+/** Per-static-instruction history buffers. */
+struct StaticHistory
+{
+    std::unordered_set<uint64_t> results;
+    /** operand tuple -> last result computed from it. */
+    std::unordered_map<uint64_t, uint64_t> byOperands;
+    uint64_t lastResult = 0;
+    uint64_t prevResult = 0;
+    unsigned seen = 0;
+};
+
+/** Last writer of each architectural register. */
+struct WriterInfo
+{
+    uint64_t index = 0;     //!< dynamic instruction number
+    bool reused = false;    //!< that instance was itself reused
+                            //!< (repeated with matching operands)
+    bool valid = false;
+};
+
+} // anonymous namespace
+
+RedundancyStats
+analyzeRedundancy(const Program &program, const RedundancyParams &params)
+{
+    RedundancyStats out;
+    EmuState state;
+    Emulator emu(program, state);
+    Emulator::loadProgram(program, state);
+
+    std::unordered_map<Addr, StaticHistory> hist;
+    WriterInfo writers[NUM_ARCH_REGS] = {};
+
+    uint64_t idx = 0;
+    while (!emu.halted() && idx < params.maxInsts) {
+        ExecResult er = emu.step();
+        if (er.halted)
+            break;
+        ++idx;
+        ++out.totalDynamic;
+        state.retire(state.mark()); // keep the journal bounded
+
+        const Instr &inst = er.inst;
+        bool produces = inst.rd != REG_INVALID &&
+                        decodeInfo(inst.op).cls != InstClass::Nop;
+
+        bool this_reused = false;
+        if (produces) {
+            ++out.resultProducing;
+            StaticHistory &h = hist[er.pc];
+            uint64_t result = er.out.result;
+
+            bool is_repeated = h.results.count(result) > 0;
+            bool is_derivable = false;
+            if (!is_repeated && h.seen >= 2) {
+                uint64_t stride = h.lastResult - h.prevResult;
+                is_derivable = result == h.lastResult + stride;
+            }
+
+            // An instance is reused when it repeats a result that
+            // was computed from the same operand values before
+            // (paper §4.3: the operand-based reuse test succeeds).
+            uint64_t key = operandKey(er.srcVals[0], er.srcVals[1]);
+            auto op_it = h.byOperands.find(key);
+            bool operands_seen =
+                op_it != h.byOperands.end() && op_it->second == result;
+            this_reused = is_repeated && operands_seen;
+
+            if (is_repeated) {
+                ++out.repeated;
+
+                // Figure 9: producer readiness for this instance.
+                // Inputs are ready when every producer is either
+                // reused itself or at least `producerDistance`
+                // instructions ahead (paper §4.3).
+                SrcRegs s = srcRegs(inst);
+                bool any_near = false;
+                bool any_far = false;
+                for (RegId r : s.src) {
+                    if (r == REG_INVALID)
+                        continue;
+                    const WriterInfo &w = writers[r];
+                    if (!w.valid)
+                        continue; // architectural: long ago
+                    if (w.reused)
+                        continue;
+                    if (idx - w.index < params.producerDistance)
+                        any_near = true;
+                    else
+                        any_far = true;
+                }
+                if (any_near)
+                    ++out.prodNear;
+                else if (any_far)
+                    ++out.prodFar;
+                else
+                    ++out.prodReused;
+
+                if (!operands_seen)
+                    ++out.inputsDifferent;
+                if (operands_seen && !any_near)
+                    ++out.reusable;
+            } else if (is_derivable) {
+                ++out.derivable;
+            } else if (h.results.size() >= params.maxInstances) {
+                ++out.unaccounted;
+            } else {
+                ++out.unique;
+            }
+
+            if (h.results.size() < params.maxInstances)
+                h.results.insert(result);
+            if (h.byOperands.size() < params.maxInstances) {
+                h.byOperands[operandKey(er.srcVals[0],
+                                        er.srcVals[1])] = result;
+            }
+            h.prevResult = h.lastResult;
+            h.lastResult = result;
+            ++h.seen;
+        }
+
+        // Track register writers for the readiness model.
+        DstRegs d = dstRegs(inst);
+        for (RegId r : d.dst) {
+            if (r != REG_INVALID)
+                writers[r] = WriterInfo{idx, this_reused, true};
+        }
+    }
+
+    return out;
+}
+
+} // namespace vpir

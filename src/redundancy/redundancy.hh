@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Redundancy limit study (paper §4.3, Figures 8-10).
+ *
+ * Runs a program functionally, buffering up to 10K result instances
+ * per static instruction, and classifies every result-producing
+ * dynamic instruction as unique / repeated / derivable (stride) /
+ * unaccounted. Repeated instructions are further decomposed by the
+ * paper's input-readiness model (producers reused, unreused producers
+ * >= 50 instructions ahead, unreused producers closer than that), and
+ * the reusable fraction of all redundant instructions is estimated.
+ */
+
+#ifndef VPIR_REDUNDANCY_REDUNDANCY_HH
+#define VPIR_REDUNDANCY_REDUNDANCY_HH
+
+#include <cstdint>
+
+#include "asm/assembler.hh"
+
+namespace vpir
+{
+
+/** Limit-study knobs (paper values as defaults). */
+struct RedundancyParams
+{
+    unsigned maxInstances = 10000;  //!< buffered results per static inst
+    unsigned producerDistance = 50; //!< readiness horizon (paper §4.3)
+    uint64_t maxInsts = 2000000;    //!< dynamic instructions analysed
+};
+
+/** Outcome of the limit study for one program. */
+struct RedundancyStats
+{
+    uint64_t totalDynamic = 0;      //!< all dynamic instructions
+    uint64_t resultProducing = 0;   //!< denominators for Figure 8
+
+    // Figure 8 categories.
+    uint64_t unique = 0;
+    uint64_t repeated = 0;
+    uint64_t derivable = 0;
+    uint64_t unaccounted = 0;
+
+    // Figure 9: repeated instructions by input readiness.
+    uint64_t prodReused = 0;     //!< producers themselves reused
+    uint64_t prodFar = 0;        //!< unreused producers >= horizon
+    uint64_t prodNear = 0;       //!< unreused producers < horizon
+
+    // Figure 10 inputs.
+    uint64_t inputsDifferent = 0; //!< repeated result, unseen operands
+    uint64_t reusable = 0;
+
+    uint64_t redundant() const { return repeated + derivable; }
+
+    double
+    reusableFraction() const
+    {
+        uint64_t r = redundant();
+        return r ? static_cast<double>(reusable) /
+                   static_cast<double>(r)
+                 : 0.0;
+    }
+};
+
+/** Run the limit study over a program. */
+RedundancyStats analyzeRedundancy(
+    const Program &program,
+    const RedundancyParams &params = RedundancyParams());
+
+} // namespace vpir
+
+#endif // VPIR_REDUNDANCY_REDUNDANCY_HH

@@ -1,0 +1,259 @@
+#include "reuse/reuse_buffer.hh"
+
+#include <algorithm>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace vpir
+{
+
+ReuseBuffer::ReuseBuffer(const RbParams &p) : params(p)
+{
+    VPIR_ASSERT(p.ways >= 1 && p.entries % p.ways == 0,
+                "entries must divide into ways");
+    numSets = p.entries / p.ways;
+    VPIR_ASSERT(isPowerOf2(numSets), "set count not a power of two");
+    entries.assign(p.entries, Entry());
+    lru.assign(numSets, LruSet(p.ways));
+}
+
+uint32_t
+ReuseBuffer::setIndex(Addr pc) const
+{
+    return foldPC(pc, floorLog2(numSets));
+}
+
+bool
+ReuseBuffer::operandOk(const Operand &op, const RbOperandQuery &q) const
+{
+    if (op.reg == REG_INVALID)
+        return true; // no operand, trivially matches
+    if (q.reg != op.reg)
+        return false; // different static instruction in this slot
+
+    if (q.ready)
+        return q.value == op.value;
+
+    // Operand not available at decode: only a dependence-pointer chain
+    // to an entry the in-flight producer was reused from can rescue it
+    // (S_{n+d}'s same-cycle chain collapse).
+    if (q.producerReuse.valid() && op.src.valid() &&
+        q.producerReuse.idx == op.src.idx &&
+        q.producerReuse.serial == op.src.serial) {
+        // Exact link match implies the producer delivers exactly the
+        // operand value this entry was computed with.
+        return q.value == op.value;
+    }
+    return false;
+}
+
+RbProbeResult
+ReuseBuffer::probe(Addr pc, const Instr &inst,
+                   const RbOperandQuery ops_q[2]) const
+{
+    RbProbeResult r;
+    uint32_t si = setIndex(pc);
+
+    for (unsigned w = 0; w < params.ways; ++w) {
+        const Entry &e = entries[si * params.ways + w];
+        if (!e.valid || e.pc != pc || e.op != inst.op)
+            continue;
+
+        bool op0 = operandOk(e.ops[0], ops_q[0]);
+        bool op1 = operandOk(e.ops[1], ops_q[1]);
+
+        if (isLoad(inst.op)) {
+            // Address part depends only on the base register (op 0).
+            if (!op0)
+                continue;
+            r.addrReused = true;
+            r.resultReused = e.memValid;
+        } else if (isStore(inst.op)) {
+            // Stores have no result; a base-operand match reuses the
+            // address computation.
+            if (!op0)
+                continue;
+            r.addrReused = true;
+            r.resultReused = false;
+        } else {
+            if (!op0 || !op1)
+                continue;
+            r.resultReused = true;
+        }
+
+        r.entry = RbRef{static_cast<int>(si * params.ways + w), e.serial};
+        r.result = e.result;
+        r.result2 = e.result2;
+        r.taken = e.taken;
+        r.nextPC = e.nextPC;
+        r.memAddr = e.memAddr;
+        r.memValue = e.memValue;
+        r.recoveredSquashedWork = e.fromSquashed;
+
+        // Prefer a full-result hit; keep scanning only if this way gave
+        // just an address hit and a later way might do better.
+        if (r.resultReused || isStore(inst.op))
+            return r;
+    }
+    return r;
+}
+
+void
+ReuseBuffer::noteReused(const RbProbeResult &hit, const Instr &inst)
+{
+    (void)inst;
+    VPIR_ASSERT(hit.entry.valid(), "noteReused without a hit");
+    Entry &e = entries[hit.entry.idx];
+    if (e.serial != hit.entry.serial)
+        return; // overwritten between probe and use; nothing to note
+    lru[hit.entry.idx / params.ways].touch(hit.entry.idx % params.ways);
+    if (e.fromSquashed)
+        e.fromSquashed = false; // recovery credit consumed once
+}
+
+void
+ReuseBuffer::registerLoad(int idx)
+{
+    const Entry &e = entries[idx];
+    unsigned size = memSize(e.op);
+    for (Addr a = e.memAddr & ~3u; a < e.memAddr + size; a += 4)
+        loadIndex[a].push_back(idx);
+}
+
+void
+ReuseBuffer::unregisterLoad(int idx)
+{
+    const Entry &e = entries[idx];
+    unsigned size = memSize(e.op);
+    for (Addr a = e.memAddr & ~3u; a < e.memAddr + size; a += 4) {
+        auto it = loadIndex.find(a);
+        if (it == loadIndex.end())
+            continue;
+        auto &v = it->second;
+        v.erase(std::remove(v.begin(), v.end(), idx), v.end());
+        if (v.empty())
+            loadIndex.erase(it);
+    }
+}
+
+RbRef
+ReuseBuffer::insert(const RbInsertInfo &info)
+{
+    uint32_t si = setIndex(info.pc);
+
+    // Refresh an existing instance with identical operands.
+    int way = -1;
+    for (unsigned w = 0; w < params.ways; ++w) {
+        Entry &e = entries[si * params.ways + w];
+        if (e.valid && e.pc == info.pc && e.op == info.inst.op &&
+            e.ops[0].reg == info.srcReg[0] &&
+            e.ops[1].reg == info.srcReg[1] &&
+            (e.ops[0].reg == REG_INVALID ||
+             e.ops[0].value == info.srcVal[0]) &&
+            (e.ops[1].reg == REG_INVALID ||
+             e.ops[1].value == info.srcVal[1])) {
+            way = static_cast<int>(w);
+            break;
+        }
+    }
+
+    bool fresh = way < 0;
+    if (fresh) {
+        for (unsigned w = 0; w < params.ways; ++w) {
+            if (!entries[si * params.ways + w].valid) {
+                way = static_cast<int>(w);
+                break;
+            }
+        }
+        if (way < 0)
+            way = static_cast<int>(lru[si].victim());
+    }
+
+    int idx = static_cast<int>(si * params.ways + way);
+    Entry &e = entries[idx];
+    if (e.valid && isLoad(e.op))
+        unregisterLoad(idx);
+
+    if (fresh)
+        e.serial = nextSerial++;
+    e.valid = true;
+    e.pc = info.pc;
+    e.op = info.inst.op;
+    for (int k = 0; k < 2; ++k) {
+        e.ops[k].reg = info.srcReg[k];
+        e.ops[k].value = info.srcVal[k];
+        e.ops[k].src = RbRef{};
+    }
+    e.result = info.result;
+    e.result2 = info.result2;
+    e.taken = info.taken;
+    e.nextPC = info.nextPC;
+    e.memAddr = info.memAddr;
+    e.memValue = info.memValue;
+    e.memValid = isLoad(info.inst.op);
+    e.fromSquashed = false;
+
+    if (isLoad(info.inst.op))
+        registerLoad(idx);
+
+    lru[si].touch(static_cast<unsigned>(way));
+    return RbRef{idx, e.serial};
+}
+
+void
+ReuseBuffer::linkSources(const RbRef &ref, const RbRef src_links[2])
+{
+    if (!ref.valid())
+        return;
+    Entry &e = entries[ref.idx];
+    if (e.serial != ref.serial)
+        return;
+    for (int k = 0; k < 2; ++k)
+        e.ops[k].src = src_links[k];
+}
+
+void
+ReuseBuffer::storeInvalidate(Addr addr, unsigned size)
+{
+    for (Addr a = addr & ~3u; a < addr + size; a += 4) {
+        auto it = loadIndex.find(a);
+        if (it == loadIndex.end())
+            continue;
+        for (int idx : it->second)
+            entries[idx].memValid = false;
+    }
+}
+
+void
+ReuseBuffer::markSquashed(const RbRef &ref)
+{
+    if (!ref.valid())
+        return;
+    Entry &e = entries[ref.idx];
+    if (e.valid && e.serial == ref.serial)
+        e.fromSquashed = true;
+}
+
+void
+ReuseBuffer::reset()
+{
+    for (Entry &e : entries)
+        e.valid = false;
+    loadIndex.clear();
+}
+
+unsigned
+ReuseBuffer::instancesFor(Addr pc) const
+{
+    uint32_t si = setIndex(pc);
+    unsigned n = 0;
+    for (unsigned w = 0; w < params.ways; ++w) {
+        const Entry &e = entries[si * params.ways + w];
+        if (e.valid && e.pc == pc)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace vpir

@@ -1,0 +1,46 @@
+#include "sim/simulator.hh"
+
+#include <cstdlib>
+
+namespace vpir
+{
+
+Simulator::Simulator(const CoreParams &params, Program program)
+    : prog(std::move(program))
+{
+    core_ = std::make_unique<Core>(params, prog);
+}
+
+const CoreStats &
+Simulator::run()
+{
+    return core_->run();
+}
+
+CoreStats
+runWorkload(const std::string &name, const CoreParams &params,
+            const WorkloadScale &scale)
+{
+    Workload w = makeWorkload(name, scale);
+    Simulator sim(params, std::move(w.program));
+    return sim.run();
+}
+
+uint64_t
+benchInstLimit()
+{
+    if (const char *s = std::getenv("VPIR_BENCH_INSTS"))
+        return std::strtoull(s, nullptr, 10);
+    return 400000;
+}
+
+WorkloadScale
+benchScale()
+{
+    WorkloadScale sc;
+    if (const char *s = std::getenv("VPIR_BENCH_SCALE"))
+        sc.factor = std::strtod(s, nullptr);
+    return sc;
+}
+
+} // namespace vpir

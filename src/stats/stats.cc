@@ -1,0 +1,83 @@
+#include "stats/stats.hh"
+
+#include <cstdio>
+
+namespace vpir
+{
+
+double
+harmonicMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double denom = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            return 0.0;
+        denom += 1.0 / v;
+    }
+    return static_cast<double>(values.size()) / denom;
+}
+
+double
+arithmeticMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+pct(double num, double den)
+{
+    return den != 0.0 ? 100.0 * num / den : 0.0;
+}
+
+double
+ratio(double num, double den)
+{
+    return den != 0.0 ? num / den : 0.0;
+}
+
+void
+StatSet::set(const std::string &name, double value)
+{
+    vals[name] = value;
+}
+
+void
+StatSet::add(const std::string &name, double value)
+{
+    vals[name] += value;
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    auto it = vals.find(name);
+    return it == vals.end() ? 0.0 : it->second;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return vals.find(name) != vals.end();
+}
+
+std::string
+StatSet::dump() const
+{
+    std::string out;
+    char line[160];
+    for (const auto &kv : vals) {
+        std::snprintf(line, sizeof(line), "%-40s %.6g\n", kv.first.c_str(),
+                      kv.second);
+        out += line;
+    }
+    return out;
+}
+
+} // namespace vpir

@@ -1,0 +1,62 @@
+#include "stats/table.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace vpir
+{
+
+TextTable::TextTable(std::vector<std::string> header)
+{
+    rows.push_back(std::move(header));
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    VPIR_ASSERT(row.size() == rows.front().size(),
+                "row arity mismatch");
+    rows.push_back(std::move(row));
+}
+
+std::string
+TextTable::num(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(rows.front().size(), 0);
+    for (const auto &row : rows) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (row[c].size() > widths[c])
+                widths[c] = row[c].size();
+        }
+    }
+
+    std::string out;
+    for (size_t r = 0; r < rows.size(); ++r) {
+        for (size_t c = 0; c < rows[r].size(); ++c) {
+            const std::string &cell = rows[r][c];
+            out += cell;
+            if (c + 1 < rows[r].size())
+                out += std::string(widths[c] - cell.size() + 2, ' ');
+        }
+        out += '\n';
+        if (r == 0) {
+            size_t total = 0;
+            for (size_t c = 0; c < widths.size(); ++c)
+                total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+            out += std::string(total, '-');
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+} // namespace vpir

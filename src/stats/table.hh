@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Plain-text table rendering used by the benchmark harnesses to print
+ * rows in the shape of the paper's tables and figure series.
+ */
+
+#ifndef VPIR_STATS_TABLE_HH
+#define VPIR_STATS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace vpir
+{
+
+/** Column-aligned text table with a header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with @p decimals decimals. */
+    static std::string num(double v, int decimals = 2);
+
+    /** Render with padding and a separator under the header. */
+    std::string render() const;
+
+  private:
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace vpir
+
+#endif // VPIR_STATS_TABLE_HH

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * "compress" stand-in: LZW-style compression with open-addressing
+ * hash probing over a repetitive synthetic text.
+ *
+ * Character reproduced: the paper's outlier — hash addresses
+ * recompute from heavily repeating (prefix, char) pairs, so *address*
+ * reuse/prediction is very high (~65%/43%) while table contents keep
+ * changing, keeping *result* reuse low (~17%/21%); probe loops give
+ * a mid-pack branch prediction rate (~89%).
+ */
+
+#include "workload/workload.hh"
+
+#include "common/rng.hh"
+#include "workload/wregs.hh"
+
+namespace vpir
+{
+
+using namespace wreg;
+
+Workload
+makeCompress(const WorkloadScale &scale)
+{
+    Assembler a;
+    Rng rng(0x636d7072); // "cmpr"
+
+    constexpr unsigned inputBytes = 16384;
+    constexpr unsigned tableSize = 4096; // power of two
+    const unsigned passes = scale.scaled(6);
+
+    // Synthetic text: phrases from a tiny dictionary with occasional
+    // random bytes — repetitive, as compress inputs are.
+    const char *phrases[6] = {"the quick brown ", "fox jumps over ",
+                              "a lazy dog and ", "compress works ",
+                              "with hash tables ", "again and again "};
+    {
+        std::vector<uint8_t> text;
+        text.reserve(inputBytes);
+        while (text.size() < inputBytes) {
+            const char *p = phrases[rng.below(6)];
+            for (const char *c = p; *c && text.size() < inputBytes; ++c)
+                text.push_back(static_cast<uint8_t>(*c));
+            if (rng.chance(1, 50) && text.size() < inputBytes)
+                text.push_back(
+                    static_cast<uint8_t>(33 + rng.below(90)));
+        }
+        a.dataLabel("input");
+        a.bytes(text);
+    }
+    a.dataLabel("htab"); // keys; 0 = empty
+    a.space(tableSize * 4);
+    a.dataLabel("ctab"); // codes
+    a.space(tableSize * 4);
+    a.dataLabel("cstats");
+    a.space(4 * 4);
+    a.word(4);              // [4]: hash shift config (invariant)
+    a.space(3 * 4);
+
+    // --- code ----------------------------------------------------------
+    // S0 input, S1 htab, S2 ctab, S3 stats, S4 pass counter,
+    // S5 input cursor, S6 prefix code, S7 next free code.
+    a.la(S0, "input");
+    a.la(S1, "htab");
+    a.la(S2, "ctab");
+    a.la(S3, "cstats");
+    a.li(S4, static_cast<int32_t>(passes));
+    a.li(S7, 256);
+
+    a.label("pass_loop");
+    a.move(S5, S0);
+    a.li(T9, inputBytes);
+    a.lbu(S6, S5, 0);       // prefix = first char
+    a.addi(S5, S5, 1);
+    a.addi(T9, T9, -1);
+
+    a.label("char_loop");
+    a.lbu(T0, S5, 0);       // c
+    a.addi(S5, S5, 1);
+    a.sw(T0, SP, -4);       // spill c (stack local: constant address)
+    a.sw(S6, SP, -8);       // spill the prefix
+    a.lw(T6, S3, 16);       // invariant: hash shift "config"
+    a.sltiu(T7, T0, 110);   // char class flag (VP-only redundancy)
+    a.add(T7, T7, T6);
+    a.sw(T7, S3, 20);       // constant-address store
+    a.andi(T8, T0, 0x60);   // char group (few values, VP-friendly)
+    a.andi(T7, T9, 3);      // position class: operand in flight
+    a.add(T8, T8, T7);
+    a.sw(T8, S3, 24);
+    a.bltz(T9, "cl_oob");   // bounds guard: never taken
+    a.label("cl_oob_ret");
+    a.blez(S7, "cl_badcode"); // code-space guard: never taken
+    a.label("cl_badcode_ret");
+    // key = (c << 16) | prefix ; h = (c << 4) ^ prefix, masked
+    a.sll(T1, T0, 16);
+    a.or_(T1, T1, S6);      // key
+    a.sll(T2, T0, 4);
+    a.xor_(T2, T2, S6);
+    a.andi(T2, T2, tableSize - 1); // h
+
+    a.label("probe_loop");
+    a.sll(T3, T2, 2);
+    a.add(T4, S1, T3);
+    a.lw(T5, T4, 0);        // htab[h]
+    a.beq(T5, T1, "probe_hit");
+    a.beq(T5, ZERO, "probe_empty");
+    a.addi(T2, T2, 1);      // linear reprobe
+    a.andi(T2, T2, tableSize - 1);
+    a.j("probe_loop");
+
+    a.label("probe_hit");   // extend the prefix
+    a.add(T6, S2, T3);
+    a.lw(S6, T6, 0);        // prefix = ctab[h]
+    a.jal("note_match");    // bookkeeping helper (call traffic)
+    a.j("char_next");
+
+    a.label("probe_empty"); // emit code, insert, restart prefix
+    a.sw(T1, T4, 0);        // htab[h] = key
+    a.add(T6, S2, T3);
+    a.sw(S7, T6, 0);        // ctab[h] = nextcode
+    a.addi(S7, S7, 1);
+    a.lw(T7, S3, 0);
+    a.lw(T8, SP, -8);       // reload the prefix (stack local)
+    a.add(T7, T7, T8);      // "output" the prefix code
+    a.sw(T7, S3, 0);
+    a.lw(S6, SP, -4);       // prefix = c (reload the spill)
+
+    // Reset the dictionary when the code space fills (as compress
+    // does on ratio decay) — keeps table contents churning.
+    a.li(T7, 4000);
+    a.slt(T8, T7, S7);
+    a.beq(T8, ZERO, "char_next");
+    a.jal("clear_table");
+
+    a.label("char_next");
+    a.addi(T9, T9, -1);
+    a.bgtz(T9, "char_loop");
+
+    a.addi(S4, S4, -1);
+    a.bgtz(S4, "pass_loop");
+    a.halt();
+
+    a.label("cl_oob");      // unreachable guards
+    a.j("cl_oob_ret");
+    a.label("cl_badcode");
+    a.j("cl_badcode_ret");
+
+    // note_match: bump the match statistic (constant-address RMW).
+    a.label("note_match");
+    a.lw(T8, S3, 12);
+    a.addi(T8, T8, 1);
+    a.sw(T8, S3, 12);
+    a.jr(RA);
+
+    // clear_table: zero htab and restart the code space.
+    a.label("clear_table");
+    a.move(T0, S1);
+    a.li(T1, tableSize);
+    a.label("clr_loop");
+    a.sw(ZERO, T0, 0);
+    a.addi(T0, T0, 4);
+    a.addi(T1, T1, -1);
+    a.bgtz(T1, "clr_loop");
+    a.li(S7, 256);
+    a.lw(T2, S3, 4);
+    a.addi(T2, T2, 1);
+    a.sw(T2, S3, 4);        // stats[1]: resets
+    a.jr(RA);
+
+    Workload w;
+    w.name = "compress";
+    w.input = "bigtest.in (ref)";
+    w.program = a.finish();
+    return w;
+}
+
+} // namespace vpir

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * "gcc" stand-in: repeated compiler-like passes (constant folding,
+ * liveness accumulation) over an IR node array.
+ *
+ * Character reproduced: a skewed operator distribution driving
+ * moderately predictable compare-chains (~92% bpred), re-folding of
+ * mostly-unchanged nodes across passes (moderate redundancy), and a
+ * slow mutation stream that keeps a fraction of the work fresh.
+ */
+
+#include "workload/workload.hh"
+
+#include "common/rng.hh"
+#include "workload/wregs.hh"
+
+namespace vpir
+{
+
+using namespace wreg;
+
+Workload
+makeGcc(const WorkloadScale &scale)
+{
+    Assembler a;
+    Rng rng(0x67636331); // "gcc1"
+
+    constexpr unsigned numNodes = 1024;
+    constexpr unsigned nodeWords = 4; // op a1 a2 flags
+    constexpr unsigned numMutations = 4096;
+    const unsigned passes = scale.scaled(52);
+
+    // Skewed op distribution: 0 (add) dominates, like real IR.
+    auto pick_op = [&rng]() -> uint32_t {
+        uint64_t r = rng.below(100);
+        if (r < 70)
+            return 0; // add dominates, as in real IR
+        if (r < 85)
+            return 1; // sub
+        if (r < 92)
+            return 2; // and
+        if (r < 96)
+            return 3; // or
+        if (r < 98)
+            return 4; // shift
+        return 5;     // xor
+    };
+
+    a.dataLabel("nodes");
+    for (unsigned i = 0; i < numNodes; ++i) {
+        a.word(pick_op());
+        a.word(static_cast<uint32_t>(rng.below(4096)));
+        a.word(static_cast<uint32_t>(rng.below(4096)));
+        a.word(0);
+    }
+    a.dataLabel("folded");
+    a.space(numNodes * 4);
+    a.dataLabel("gcc_mutations"); // (node, delta) pairs
+    for (unsigned i = 0; i < numMutations; ++i) {
+        a.word(static_cast<uint32_t>(rng.below(numNodes)));
+        a.word(static_cast<uint32_t>(1 + rng.below(7)));
+    }
+    a.dataLabel("gcc_stats");
+    a.space(8 * 4);
+    a.dataLabel("fold_table");
+    Addr fold_table = a.dataCursor();
+    a.space(8 * 4);
+
+    // --- code ----------------------------------------------------------
+    // S0 nodes, S1 folded, S2 mutation cursor, S3 stats,
+    // S4 pass counter, S5 node cursor, S6 node counter, S7 liveness.
+    a.la(S0, "nodes");
+    a.la(S1, "folded");
+    a.la(S2, "gcc_mutations");
+    a.la(S3, "gcc_stats");
+    a.li(S4, static_cast<int32_t>(passes));
+
+    a.label("pass_loop");
+
+    // ---- pass 1: constant folding via a compare chain ----
+    a.move(S5, S0);
+    a.move(T9, S1);
+    a.li(S6, numNodes);
+    a.label("fold_loop");
+    a.jal("fold_node");     // T3 = folded value of node at S5
+    a.j("fold_store_ret");
+    a.label("fold_node");
+    a.addi(SP, SP, -8);
+    a.sw(RA, SP, 0);        // frame traffic: constant addresses
+    a.lw(T0, S5, 0);        // op
+    a.lw(T1, S5, 4);        // a1
+    a.lw(T2, S5, 8);        // a2
+    a.bltz(S6, "node_dirty");          // guard: never taken
+    a.label("node_clean");
+    a.slt(T7, T1, T2);      // comparison flag on varying operands
+    a.add(GP, GP, T7);      // (VP captures it, IR cannot)
+    // Operator dispatch through a jump table, as compiled switches
+    // are; the indirect jump mispredicts in the BTB, not the gshare.
+    a.la(T4, "fold_table");
+    a.sll(T5, T0, 2);
+    a.add(T4, T4, T5);
+    a.lw(T4, T4, 0);
+    a.jalr(RA, T4);
+    a.label("fold_store");
+    a.lw(RA, SP, 0);
+    a.addi(SP, SP, 8);
+    a.jr(RA);
+    a.label("node_dirty");  // unreachable
+    a.j("node_clean");
+
+    a.label("f_add");
+    a.add(T3, T1, T2);
+    a.jr(RA);
+    a.label("f_sub");
+    a.sub(T3, T1, T2);
+    a.jr(RA);
+    a.label("f_and");
+    a.and_(T3, T1, T2);
+    a.jr(RA);
+    a.label("f_or");
+    a.or_(T3, T1, T2);
+    a.jr(RA);
+    a.label("f_shift");
+    a.andi(T5, T2, 15);
+    a.sllv(T3, T1, T5);
+    a.jr(RA);
+    a.label("f_xor");
+    a.xor_(T3, T1, T2);
+    a.jr(RA);
+    a.label("fold_store_ret");
+    a.xor_(T5, T3, S6);
+    a.srl(T5, T5, 3);
+    a.add(FP, FP, T5);      // varying checksum (dilutes redundancy)
+    a.sll(T6, T3, 2);
+    a.sub(T6, T6, S6);
+    a.xor_(FP, FP, T6);     // second varying mix
+    a.sw(T3, T9, 0);
+    a.addi(S5, S5, nodeWords * 4);
+    a.addi(T9, T9, 4);
+    a.addi(S6, S6, -1);
+    a.bgtz(S6, "fold_loop");
+
+    // ---- pass 2: liveness-like bit accumulation over results ----
+    a.li(S7, 0);
+    a.move(T9, S1);
+    a.li(S6, numNodes);
+    a.li(T8, 0);            // popcount-ish tally
+    a.label("live_loop");
+    a.lw(T0, T9, 0);
+    a.andi(T1, T0, 3);
+    a.sll(S7, S7, 1);
+    a.or_(S7, S7, T1);
+    a.andi(S7, S7, 0xffff);
+    a.bne(T1, ZERO, "live_next"); // biased: taken ~75% of the time
+    a.addi(T8, T8, 1);
+    // Normalisation mini-loop: fixed trip count, fully predictable.
+    a.li(T2, 2);
+    a.label("norm_loop");
+    a.srl(T0, T0, 1);
+    a.addi(T2, T2, -1);
+    a.bgtz(T2, "norm_loop");
+    a.add(T8, T8, T0);
+    a.label("live_next");
+    a.addi(T9, T9, 4);
+    a.addi(S6, S6, -1);
+    a.bgtz(S6, "live_loop");
+    a.lw(T0, S3, 0);
+    a.add(T0, T0, T8);
+    a.sw(T0, S3, 0);
+    a.lw(T0, S3, 4);
+    a.add(T0, T0, S7);
+    a.sw(T0, S3, 4);
+
+    // ---- mutate a handful of nodes so later passes see fresh data ----
+    a.li(T7, 8);
+    a.label("gm_loop");
+    a.lw(T0, S2, 0);        // node index
+    a.lw(T1, S2, 4);        // delta
+    a.addi(S2, S2, 8);
+    a.sll(T0, T0, 4);       // nodeWords * 4
+    a.add(T0, S0, T0);
+    a.lw(T2, T0, 8);        // a2
+    a.add(T2, T2, T1);
+    a.andi(T2, T2, 4095);
+    a.sw(T2, T0, 8);
+    a.addi(T7, T7, -1);
+    a.bgtz(T7, "gm_loop");
+    // Wrap the mutation cursor.
+    a.la(T3, "gcc_mutations");
+    a.li(T4, static_cast<int32_t>(numMutations * 8 - 64));
+    a.add(T4, T3, T4);
+    a.slt(T5, T4, S2);
+    a.beq(T5, ZERO, "gm_nowrap");
+    a.move(S2, T3);
+    a.label("gm_nowrap");
+
+    a.addi(S4, S4, -1);
+    a.bgtz(S4, "pass_loop");
+    a.halt();
+
+    const char *fnames[6] = {"f_add", "f_sub", "f_and",
+                             "f_or", "f_shift", "f_xor"};
+    for (unsigned i = 0; i < 6; ++i)
+        a.patchWord(fold_table + 4 * i, a.labelPC(fnames[i]));
+    a.patchWord(fold_table + 4 * 6, a.labelPC("f_xor"));
+    a.patchWord(fold_table + 4 * 7, a.labelPC("f_xor"));
+
+    Workload w;
+    w.name = "gcc";
+    w.input = "reload.i (ref)";
+    w.program = a.finish();
+    return w;
+}
+
+} // namespace vpir

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * "go" stand-in: board evaluation + shallow move search.
+ *
+ * Character reproduced from the original: heavily data-dependent
+ * branching on irregular board contents (the paper's lowest branch
+ * prediction rate, ~76%), moderate value redundancy from repeated
+ * positional evaluation over a mostly-stable board, call/return
+ * traffic with stack frames (compiled-code-like constant-address
+ * memory operations), and almost no floating point.
+ */
+
+#include "workload/workload.hh"
+
+#include "common/rng.hh"
+#include "workload/wregs.hh"
+
+namespace vpir
+{
+
+using namespace wreg;
+
+Workload
+makeGo(const WorkloadScale &scale)
+{
+    Assembler a;
+    Rng rng(0x676f5f31); // "go_1"
+
+    constexpr unsigned boardDim = 19;
+    constexpr unsigned boardCells = boardDim * boardDim; // 361
+    constexpr unsigned numMoves = 64;
+    constexpr unsigned numMutations = 4096;
+    const unsigned games = scale.scaled(150);
+
+    // --- data ---------------------------------------------------------
+    a.dataLabel("board");
+    for (unsigned i = 0; i < boardCells; ++i)
+        a.word(static_cast<uint32_t>(rng.below(8)));
+    a.dataLabel("weights");
+    for (unsigned i = 0; i < 8; ++i)
+        a.word(static_cast<uint32_t>(1 + rng.below(13)));
+    a.dataLabel("moves");
+    for (unsigned i = 0; i < numMoves; ++i)
+        a.word(static_cast<uint32_t>(rng.below(1u << 16)));
+    // Mutation schedule: (cell, value) pairs consumed round-robin so
+    // the board drifts between games (limits branch memorisation).
+    a.dataLabel("mutations");
+    for (unsigned i = 0; i < numMutations; ++i) {
+        a.word(static_cast<uint32_t>(rng.below(boardCells)));
+        a.word(static_cast<uint32_t>(rng.below(8)));
+    }
+    a.dataLabel("go_globals"); // [0] score total, [1] pairs, [2] depth
+    a.space(8 * 4);
+
+    // --- code ----------------------------------------------------------
+    // S0 board, S1 weights, S2 moves, S3 mutation cursor, S4 games,
+    // S5 score, S6 pairs, S7 minimax value.
+    a.la(S0, "board");
+    a.la(S1, "weights");
+    a.la(S2, "moves");
+    a.la(S3, "mutations");
+    a.li(S4, static_cast<int32_t>(games));
+
+    a.label("game_loop");
+    a.li(S5, 0);
+    a.li(S6, 0);
+
+    // ---- board scan: data-dependent branching on cell contents ----
+    a.addi(T8, S0, 4);        // cell pointer (skip the edge cell)
+    a.li(T9, boardCells - 21);
+    a.label("scan_loop");
+    a.lw(A0, T8, 0);          // v = board[p]
+    a.beq(A0, ZERO, "scan_next");      // empty cell (1/8)
+    a.lw(A1, T8, 4);          // right neighbour
+    a.lw(A2, T8, -4);         // left neighbour
+    a.lw(A3, T8, 19 * 4);     // below neighbour
+    a.jal("eval_cell");       // V0 = cell score
+    a.add(S5, S5, V0);
+    a.label("scan_next");
+    a.addi(T8, T8, 4);
+    a.addi(T9, T9, -1);
+    a.bgtz(T9, "scan_loop");
+
+    // ---- shallow minimax over the move list ----
+    a.li(S7, 0);
+    a.move(T8, S2);
+    a.li(T9, numMoves);
+    a.label("move_loop");
+    a.lw(T2, T8, 0);          // m
+    a.andi(T3, T2, 1);
+    a.beq(T3, ZERO, "minimize");       // ~50/50 on move bits
+    a.slt(T4, S7, T2);
+    a.beq(T4, ZERO, "move_next");      // data dependent
+    a.move(S7, T2);
+    a.j("move_next");
+    a.label("minimize");
+    a.slt(T4, T2, S7);
+    a.beq(T4, ZERO, "move_next");      // data dependent
+    a.srl(T5, T2, 1);
+    a.move(S7, T5);
+    a.label("move_next");
+    a.addi(T8, T8, 4);
+    a.addi(T9, T9, -1);
+    a.bgtz(T9, "move_loop");
+
+    // ---- record totals and mutate part of the board ----
+    a.la(T0, "go_globals");
+    a.lw(T1, T0, 0);
+    a.add(T1, T1, S5);
+    a.sw(T1, T0, 0);          // constant-address RMW
+    a.lw(T1, T0, 4);
+    a.add(T1, T1, S6);
+    a.sw(T1, T0, 4);
+    a.lw(T1, T0, 8);
+    a.add(T1, T1, S7);
+    a.sw(T1, T0, 8);
+
+    a.li(T9, 96);             // mutations per game
+    a.label("mutate_loop");
+    a.lw(T2, S3, 0);
+    a.lw(T3, S3, 4);
+    a.addi(S3, S3, 8);
+    a.sll(T2, T2, 2);
+    a.add(T2, S0, T2);
+    a.sw(T3, T2, 0);
+    a.addi(T9, T9, -1);
+    a.bgtz(T9, "mutate_loop");
+    a.la(T4, "mutations");
+    a.li(T5, static_cast<int32_t>(numMutations * 8 - 96 * 8));
+    a.add(T5, T4, T5);
+    a.slt(T6, T5, S3);
+    a.beq(T6, ZERO, "no_wrap");
+    a.move(S3, T4);
+    a.label("no_wrap");
+
+    a.addi(S4, S4, -1);
+    a.bgtz(S4, "game_loop");
+    a.halt();
+
+    // ---- eval_cell(A0 = v != 0, A1 = neighbour) -> V0 ----
+    // A leaf with a real stack frame: the saves/reloads are the
+    // compiled-code constant-address traffic go's evaluator has.
+    a.label("eval_cell");
+    a.addi(SP, SP, -8);
+    a.sw(RA, SP, 0);
+    a.sll(T0, A0, 2);
+    a.add(T0, S1, T0);
+    a.lw(V0, T0, 0);          // w = weights[v] (stable values)
+    a.andi(T1, A0, 1);
+    a.beq(T1, ZERO, "ec_even");        // ~50/50 on cell value
+    a.sll(T2, A0, 1);
+    a.add(V0, V0, T2);        // odd stones score extra
+    a.label("ec_even");
+    a.andi(T5, A1, 2);
+    a.beq(T5, ZERO, "ec_lib");         // ~50/50 on neighbour value
+    a.addi(V0, V0, 1);
+    a.label("ec_lib");
+    a.add(T6, A2, A3);        // neighbour pressure
+    a.slt(T7, T6, A0);
+    a.beq(T7, ZERO, "ec_safe");        // data dependent
+    a.addi(V0, V0, 2);
+    a.label("ec_safe");
+    a.bne(A1, A0, "ec_done");          // pair bonus (data dependent)
+    a.addi(S6, S6, 1);
+    a.addi(V0, V0, 3);
+    a.label("ec_done");
+    a.lw(RA, SP, 0);
+    a.addi(SP, SP, 8);
+    a.jr(RA);
+
+    Workload w;
+    w.name = "go";
+    w.input = "null.in (ref)";
+    w.program = a.finish();
+    return w;
+}
+
+} // namespace vpir

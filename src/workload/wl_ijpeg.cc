@@ -1,0 +1,162 @@
+/**
+ * @file
+ * "ijpeg" stand-in: blocked 8x8 separable transform + quantisation
+ * over a synthetic image.
+ *
+ * Character reproduced: loop-dominated integer DCT-like arithmetic on
+ * ever-changing pixel data — the paper's *lowest* redundancy benchmark
+ * (~11% result reuse) with high loop predictability diluted by
+ * data-dependent quantisation branches (~89% bpred), plus a healthy
+ * integer multiply mix.
+ */
+
+#include "workload/workload.hh"
+
+#include "common/rng.hh"
+#include "workload/wregs.hh"
+
+namespace vpir
+{
+
+using namespace wreg;
+
+Workload
+makeIjpeg(const WorkloadScale &scale)
+{
+    Assembler a;
+    Rng rng(0x6a706567); // "jpeg"
+
+    constexpr unsigned dim = 64;               // image is dim x dim
+    constexpr unsigned blocks = (dim / 8) * (dim / 8);
+    const unsigned passes = scale.scaled(28);
+
+    // --- data ---------------------------------------------------------
+    a.dataLabel("image");
+    for (unsigned i = 0; i < dim * dim; ++i)
+        a.word(static_cast<uint32_t>(rng.below(256)));
+    a.dataLabel("coef");
+    for (unsigned i = 0; i < 8; ++i)
+        a.word(static_cast<uint32_t>(3 + rng.below(13)));
+    a.dataLabel("quant");
+    for (unsigned i = 0; i < 8; ++i)
+        a.word(static_cast<uint32_t>(1 + rng.below(4)));
+    a.dataLabel("qscale");
+    a.word(3);
+    a.dataLabel("out");
+    a.space(dim * dim * 4);
+    a.dataLabel("histogram");
+    a.space(16 * 4);
+
+    // --- code ----------------------------------------------------------
+    // S0 image, S1 coef, S2 quant, S3 out, S4 pass counter,
+    // S5 block counter, S6 block base offset, S7 histogram.
+    a.la(S0, "image");
+    a.la(S1, "coef");
+    a.la(S2, "quant");
+    a.la(S3, "out");
+    a.la(S7, "histogram");
+    a.li(S4, static_cast<int32_t>(passes));
+
+    a.label("pass_loop");
+    a.li(S5, blocks);
+    a.li(S6, 0); // byte offset of current block row start
+
+    a.label("block_loop");
+    // ---- per block: 8 rows, each row a coef-weighted reduction ----
+    a.li(T8, 8);            // row counter
+    a.move(T9, S6);         // row offset
+    a.label("row_loop");
+    a.addi(SP, SP, -16);
+    a.sw(T9, SP, 0);        // spill the row offset (frame traffic)
+    a.sw(T8, SP, 4);        // spill the row counter
+    a.li(T0, 0);            // acc
+    a.li(T1, 8);            // col counter
+    a.move(T2, T9);         // element offset
+    a.move(T3, S1);         // coef pointer
+    a.label("col_loop");
+    a.add(T4, S0, T2);
+    a.lw(T4, T4, 0);        // pixel
+    a.lw(T5, T3, 0);        // coefficient (repeats: reusable load)
+    a.mult(T4, T5);
+    a.mflo(T4);
+    a.add(T0, T0, T4);      // acc += pixel * coef
+    a.addi(T2, T2, 4);
+    a.addi(T3, T3, 4);
+    a.addi(T1, T1, -1);
+    a.bgtz(T1, "col_loop");
+
+    // ---- quantise the row sum via a helper call ----
+    a.move(A0, T0);
+    a.jal("quantize");      // V0 = quantised value
+    a.move(T0, V0);
+    a.lw(T9, SP, 0);        // reload the row offset
+    a.lw(T8, SP, 4);        // reload the row counter
+    a.addi(SP, SP, 16);
+    a.andi(T5, T0, 15);
+    a.sll(T5, T5, 2);
+    a.add(T5, S7, T5);
+    a.lw(T6, T5, 0);        // histogram bin
+    a.addi(T6, T6, 1);
+    a.sw(T6, T5, 0);
+    a.add(T4, S3, T9);
+    a.sw(T0, T4, 0);        // out[row base] = quantised sum
+
+    a.addi(T9, T9, dim * 4); // next row of the block
+    a.addi(T8, T8, -1);
+    a.bgtz(T8, "row_loop");
+
+    // ---- feed a little of the output back into the image so pixel
+    // values drift between passes (keeps redundancy low) ----
+    a.add(T0, S3, S6);
+    a.lw(T1, T0, 0);
+    a.andi(T1, T1, 255);
+    a.add(T2, S0, S6);
+    a.sw(T1, T2, 0);
+
+    // ---- advance to the next 8x8 block ----
+    a.addi(S6, S6, 8 * 4);
+    // When the block start crosses a row of blocks, jump 7 rows down.
+    a.li(T0, dim * 4);
+    a.divu(S6, T0);
+    a.mfhi(T1);             // S6 % row bytes
+    a.bne(T1, ZERO, "no_rowskip");
+    a.addi(S6, S6, dim * 4 * 7);
+    a.label("no_rowskip");
+    a.addi(S5, S5, -1);
+    a.bgtz(S5, "block_loop");
+
+    a.addi(S4, S4, -1);
+    a.bgtz(S4, "pass_loop");
+    a.halt();
+
+    // quantize(A0 = row sum) -> V0: data-dependent rounding and
+    // shifting, like ijpeg's quantisation helpers.
+    a.label("quantize");
+    a.andi(T7, A0, 3);      // acc class flag (VP-friendly small range)
+    a.add(GP, GP, T7);
+    a.andi(T7, A0, 12);
+    a.beq(T7, ZERO, "no_round");       // biased ~75% taken
+    a.addi(A0, A0, 2);
+    a.label("no_round");
+    a.li(T6, 3);
+    a.andi(T7, A0, 7);      // low bits of acc: irregular
+    a.slt(T5, T6, T7);
+    a.beq(T5, ZERO, "quant_small");
+    a.sra(A0, A0, 2);       // large path
+    a.j("quant_done");
+    a.label("quant_small");
+    a.sra(A0, A0, 1);
+    a.label("quant_done");
+    a.la(T6, "qscale");
+    a.lw(T6, T6, 0);        // invariant scale (reusable load)
+    a.add(V0, A0, T6);
+    a.jr(RA);
+
+    Workload w;
+    w.name = "ijpeg";
+    w.input = "vigo.ppm (train)";
+    w.program = a.finish();
+    return w;
+}
+
+} // namespace vpir

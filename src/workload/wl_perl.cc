@@ -1,0 +1,183 @@
+/**
+ * @file
+ * "perl" stand-in: a bytecode interpreter scoring a word list
+ * (scrabble-like), with hashing and bucketed accumulation.
+ *
+ * Character reproduced: interpreter dispatch plus per-word character
+ * loops whose computations repeat whenever a word repeats (moderate
+ * redundancy, ~20% reuse / ~35% prediction), high but not perfect
+ * branch predictability (~96%), and plenty of byte loads.
+ */
+
+#include "workload/workload.hh"
+
+#include "common/rng.hh"
+#include "workload/wregs.hh"
+
+namespace vpir
+{
+
+using namespace wreg;
+
+Workload
+makePerl(const WorkloadScale &scale)
+{
+    Assembler a;
+    Rng rng(0x7065726c); // "perl"
+
+    constexpr unsigned numWords = 96;
+    constexpr unsigned slotBytes = 12;
+    static_assert(slotBytes >= 10, "words must fit their slots");
+    const unsigned iterations = scale.scaled(8000);
+
+    // --- data ---------------------------------------------------------
+    a.dataLabel("letter_vals");
+    for (unsigned i = 0; i < 26; ++i)
+        a.word(static_cast<uint32_t>(1 + rng.below(4)));
+
+    a.dataLabel("words");
+    for (unsigned i = 0; i < numWords; ++i) {
+        unsigned len = rng.chance(7, 10)
+                           ? 7
+                           : 5 + static_cast<unsigned>(rng.below(5));
+        std::vector<uint8_t> slot(slotBytes, 0);
+        for (unsigned c = 0; c < len; ++c)
+            slot[c] = static_cast<uint8_t>('a' + rng.below(26));
+        a.bytes(slot);
+    }
+    a.dataLabel("words_end");
+
+    a.dataLabel("buckets");
+    a.space(64 * 4);
+
+    // Bytecode program: NEXT HASH SCORECOMMIT LOOP.
+    a.dataLabel("bytecode");
+    a.words({0, 1, 2, 3});
+
+    a.dataLabel("vm_handlers");
+    Addr handler_table = a.dataCursor();
+    a.space(8 * 4);
+
+    // --- interpreter ----------------------------------------------------
+    // S0 bytecode, S1 handlers, S2 vm pc, S3 letter values,
+    // S4 iteration counter, S5 word pointer, S6 hash, S7 score,
+    // FP running total.
+    a.la(S0, "bytecode");
+    a.la(S1, "vm_handlers");
+    a.li(S2, 0);
+    a.la(S3, "letter_vals");
+    a.li(S4, static_cast<int32_t>(iterations));
+    a.la(S5, "words");
+    a.li(FP, 0);
+
+    a.label("iloop");
+    a.slti(T0, S2, 4);
+    a.beq(T0, ZERO, "vm_done");
+    a.sll(T0, S2, 2);
+    a.add(T0, S0, T0);
+    a.lw(T0, T0, 0);        // opcode
+    a.sll(T0, T0, 2);
+    a.add(T0, S1, T0);
+    a.lw(T0, T0, 0);        // handler
+    a.jalr(RA, T0);
+    a.j("iloop");
+    a.label("vm_done");
+    a.halt();
+
+    // --- handlers -------------------------------------------------------
+    a.label("op_next"); // advance to the next word, wrapping
+    a.addi(S5, S5, slotBytes);
+    a.la(T0, "words_end");
+    a.slt(T1, S5, T0);
+    a.bne(T1, ZERO, "next_ok");
+    a.la(S5, "words");
+    a.label("next_ok");
+    a.addi(S2, S2, 1);
+    a.jr(RA);
+
+    a.label("op_hash"); // h = h*31 + c over the word's characters
+    a.addi(SP, SP, -16);
+    a.sw(RA, SP, 0);      // frame traffic: constant addresses
+    a.sw(S5, SP, 4);
+    a.li(S6, 0);
+    a.move(T0, S5);
+    a.label("hash_loop");
+    a.lbu(T1, T0, 0);
+    a.beq(T1, ZERO, "hash_done");
+    a.sltiu(T4, T1, 110);   // char class flag: VP-only redundancy
+    a.add(GP, GP, T4);
+    a.sll(T2, S6, 5);
+    a.sub(T2, T2, S6);
+    a.add(S6, T2, T1);
+    a.andi(T5, S6, 1);      // running parity: operand in flight, so
+    a.add(GP, GP, T5);      // VP captures it and IR cannot (§3.1)
+    a.addi(T0, T0, 1);
+    a.j("hash_loop");
+    a.label("hash_done");
+    a.lw(RA, SP, 0);
+    a.lw(T3, SP, 4);      // reload word pointer (spill slot)
+    a.addi(SP, SP, 16);
+    a.addi(S2, S2, 1);
+    a.jr(RA);
+
+    a.label("op_score"); // sum letter values
+    a.addi(SP, SP, -16);
+    a.sw(RA, SP, 0);
+    a.sw(S6, SP, 4);      // spill the hash across the loop
+    a.li(S7, 0);
+    a.move(T0, S5);
+    a.label("score_loop");
+    a.lbu(T1, T0, 0);
+    a.beq(T1, ZERO, "score_done");
+    a.addi(T1, T1, -97); // 'a'
+    a.sll(T1, T1, 2);
+    a.add(T1, S3, T1);
+    a.lw(T2, T1, 0);
+    a.andi(T5, T2, 1);      // letter value parity (VP captures)
+    a.add(GP, GP, T5);
+    a.add(S7, S7, T2);
+    a.andi(T6, S7, 3);      // running score class (in-flight operand)
+    a.add(GP, GP, T6);
+    a.addi(T0, T0, 1);
+    a.j("score_loop");
+    a.label("score_done");
+    a.lw(RA, SP, 0);
+    a.lw(S6, SP, 4);      // reload the hash
+    a.addi(SP, SP, 16);
+    // Commit phase: conditional accumulate + bucket update.
+    a.andi(T0, S6, 3);
+    a.beq(T0, ZERO, "commit_skip"); // multiple-of-4 hash: no accum
+    a.add(FP, FP, S7);
+    a.label("commit_skip");
+    a.andi(T0, S6, 63);
+    a.sll(T0, T0, 2);
+    a.la(T1, "buckets");
+    a.add(T0, T1, T0);
+    a.lw(T2, T0, 0);
+    a.add(T2, T2, S7);
+    a.sw(T2, T0, 0);
+    a.addi(S2, S2, 1);
+    a.jr(RA);
+
+    a.label("op_loop"); // restart the bytecode or fall off the end
+    a.addi(S4, S4, -1);
+    a.blez(S4, "loop_done");
+    a.li(S2, 0);
+    a.jr(RA);
+    a.label("loop_done");
+    a.addi(S2, S2, 1);
+    a.jr(RA);
+
+    const char *names[4] = {"op_next", "op_hash", "op_score",
+                            "op_loop"};
+    for (unsigned i = 0; i < 4; ++i)
+        a.patchWord(handler_table + 4 * i, a.labelPC(names[i]));
+
+    Workload w;
+    w.name = "perl";
+    w.input = "scrabble.in (train)";
+    w.program = a.finish();
+    return w;
+}
+
+} // namespace vpir

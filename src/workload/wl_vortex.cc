@@ -1,0 +1,190 @@
+/**
+ * @file
+ * "vortex" stand-in: an in-memory object database with hashed record
+ * chains and a call-heavy operation mix.
+ *
+ * Character reproduced: very regular control (the paper's highest
+ * branch prediction rate, ~98%), perfect return prediction from deep
+ * call/return traffic, and moderate redundancy from skewed key reuse
+ * (repeated lookups re-traverse identical chains).
+ */
+
+#include "workload/workload.hh"
+
+#include "common/rng.hh"
+#include "workload/wregs.hh"
+
+namespace vpir
+{
+
+using namespace wreg;
+
+Workload
+makeVortex(const WorkloadScale &scale)
+{
+    Assembler a;
+    Rng rng(0x766f7278); // "vorx"
+
+    constexpr unsigned numRecords = 4096;
+    constexpr unsigned recWords = 8; // key type f1 f2 next pad pad pad
+    constexpr unsigned numBuckets = 1024;
+    constexpr unsigned numOps = 2048;
+    const unsigned passes = scale.scaled(9);
+
+    // Build the database: records chained into hash buckets by key.
+    std::vector<uint32_t> keys(numRecords);
+    std::vector<uint32_t> recs(numRecords * recWords, 0);
+    std::vector<uint32_t> heads(numBuckets, 0); // record index + 1
+    for (unsigned i = 0; i < numRecords; ++i) {
+        uint32_t key = 1 + static_cast<uint32_t>(rng.below(1u << 20));
+        keys[i] = key;
+        unsigned b = key & (numBuckets - 1);
+        recs[i * recWords + 0] = key;
+        recs[i * recWords + 1] = rng.chance(31, 32) ? 1 : 2;
+        recs[i * recWords + 2] = static_cast<uint32_t>(rng.below(1000));
+        recs[i * recWords + 3] = static_cast<uint32_t>(rng.below(1000));
+        recs[i * recWords + 4] = heads[b]; // next (index+1, 0 = null)
+        heads[b] = i + 1;
+    }
+
+    // Hot set: keys whose records sit at a fixed shallow depth (1)
+    // in their chains, so hot traversals have a deterministic branch
+    // pattern (vortex's near-perfect prediction rate).
+    std::vector<uint32_t> hotKeys;
+    for (unsigned b = 0; b < numBuckets && hotKeys.size() < 48; ++b) {
+        uint32_t head = heads[b];
+        if (!head)
+            continue;
+        uint32_t second = recs[(head - 1) * recWords + 4];
+        if (second)
+            hotKeys.push_back(recs[(second - 1) * recWords + 0]);
+    }
+
+    // Operation schedule: skewed key popularity (80% from a hot set).
+    a.dataLabel("ops");
+    for (unsigned i = 0; i < numOps; ++i) {
+        bool hot = rng.chance(9, 10);
+        uint32_t key;
+        if (hot && rng.chance(4, 5))
+            key = hotKeys[rng.below(4)];        // top-4 dominate
+        else if (hot)
+            key = hotKeys[rng.below(hotKeys.size())];
+        else
+            key = keys[rng.below(numRecords)];
+        uint32_t opcode = (i % 32) == 0 ? 1 : 0; // rare updates
+        a.word(opcode);
+        a.word(key);
+    }
+    a.dataLabel("records");
+    a.words(recs);
+    a.dataLabel("heads");
+    a.words(heads);
+    a.dataLabel("db_stats");
+    a.space(8 * 4);
+
+    // --- code ----------------------------------------------------------
+    // S0 ops base, S1 records, S2 heads, S3 stats, S4 pass counter,
+    // S5 op cursor, S6 ops remaining.
+    a.la(S0, "ops");
+    a.la(S1, "records");
+    a.la(S2, "heads");
+    a.la(S3, "db_stats");
+    a.li(S4, static_cast<int32_t>(passes));
+
+    a.label("pass_loop");
+    a.move(S5, S0);
+    a.li(S6, numOps);
+
+    a.label("op_loop");
+    a.lw(A1, S5, 0);        // opcode
+    a.lw(A0, S5, 4);        // key
+    a.addi(S5, S5, 8);
+    a.jal("db_lookup");     // V0 = record pointer or 0
+    a.beq(V0, ZERO, "op_miss");
+    a.move(A0, V0);
+    a.jal("db_validate");   // V0 = checksum
+    a.add(FP, FP, V0);      // checksum total in a register
+    a.bne(A1, ZERO, "do_update");
+    a.j("op_next");
+    a.label("do_update");
+    a.move(A0, V0);         // (checksum unused as address; reload rec)
+    a.jal("db_touch");
+    a.j("op_next");
+    a.label("op_miss");
+    a.lw(T0, S3, 4);
+    a.addi(T0, T0, 1);
+    a.sw(T0, S3, 4);        // stats[1]: misses
+    a.label("op_next");
+    a.addi(S6, S6, -1);
+    a.bgtz(S6, "op_loop");
+
+    a.addi(S4, S4, -1);
+    a.bgtz(S4, "pass_loop");
+    a.halt();
+
+    // --- subroutines ------------------------------------------------
+    // db_lookup(A0=key) -> V0 = record byte pointer, or 0. Also
+    // leaves the record pointer in A2 for db_touch.
+    a.label("db_lookup");
+    a.addi(SP, SP, -8);
+    a.sw(RA, SP, 0);
+    a.andi(T0, A0, numBuckets - 1);
+    a.sll(T0, T0, 2);
+    a.add(T0, S2, T0);
+    a.lw(T1, T0, 0);        // head: index + 1
+    a.label("lk_loop");
+    a.beq(T1, ZERO, "lk_miss");
+    a.addi(T1, T1, -1);
+    a.sll(T2, T1, 5);       // recWords * 4 = 32 bytes
+    a.add(T2, S1, T2);      // record pointer
+    a.lw(T3, T2, 0);        // record key
+    a.sltu(T4, T3, A0);     // comparison flag (VP captures, IR not)
+    a.beq(T3, A0, "lk_hit");
+    a.lw(T1, T2, 16);       // next (index + 1)
+    a.j("lk_loop");
+    a.label("lk_hit");
+    a.move(V0, T2);
+    a.move(A2, T2);
+    a.lw(RA, SP, 0);
+    a.addi(SP, SP, 8);
+    a.jr(RA);
+    a.label("lk_miss");
+    a.li(V0, 0);
+    a.lw(RA, SP, 0);
+    a.addi(SP, SP, 8);
+    a.jr(RA);
+
+    // db_validate(A0=record ptr) -> V0 checksum; type-dependent path.
+    a.label("db_validate");
+    a.lw(T0, A0, 4);        // type (90% are 1: predictable)
+    a.lw(T1, A0, 8);        // f1
+    a.lw(T2, A0, 12);       // f2
+    a.li(T3, 1);
+    a.bne(T0, T3, "val_rare");
+    a.add(V0, T1, T2);
+    a.sltu(T4, T1, T2);     // flag on varying data: VP-only redundancy
+    a.add(GP, GP, T4);
+    a.jr(RA);
+    a.label("val_rare");
+    a.sub(V0, T1, T2);
+    a.sll(V0, V0, 1);
+    a.jr(RA);
+
+    // db_touch: bump f1 of the record found by the last lookup (A2).
+    a.label("db_touch");
+    a.lw(T0, A2, 8);
+    a.addi(T0, T0, 1);
+    a.sw(T0, A2, 8);
+    a.lw(T1, S3, 8);
+    a.addi(T1, T1, 1);
+    a.sw(T1, S3, 8);        // stats[2]: updates
+    a.jr(RA);
+
+    Workload w;
+    w.name = "vortex";
+    w.input = "vortex.in (train)";
+    w.program = a.finish();
+    return w;
+}
+
+} // namespace vpir

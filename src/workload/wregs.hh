@@ -1,0 +1,49 @@
+/**
+ * @file
+ * MIPS-flavoured register aliases used by the workload kernels.
+ */
+
+#ifndef VPIR_WORKLOAD_WREGS_HH
+#define VPIR_WORKLOAD_WREGS_HH
+
+#include "isa/regs.hh"
+
+namespace vpir
+{
+namespace wreg
+{
+
+constexpr RegId ZERO = intReg(0);
+constexpr RegId V0 = intReg(2);
+constexpr RegId V1 = intReg(3);
+constexpr RegId A0 = intReg(4);
+constexpr RegId A1 = intReg(5);
+constexpr RegId A2 = intReg(6);
+constexpr RegId A3 = intReg(7);
+constexpr RegId T0 = intReg(8);
+constexpr RegId T1 = intReg(9);
+constexpr RegId T2 = intReg(10);
+constexpr RegId T3 = intReg(11);
+constexpr RegId T4 = intReg(12);
+constexpr RegId T5 = intReg(13);
+constexpr RegId T6 = intReg(14);
+constexpr RegId T7 = intReg(15);
+constexpr RegId S0 = intReg(16);
+constexpr RegId S1 = intReg(17);
+constexpr RegId S2 = intReg(18);
+constexpr RegId S3 = intReg(19);
+constexpr RegId S4 = intReg(20);
+constexpr RegId S5 = intReg(21);
+constexpr RegId S6 = intReg(22);
+constexpr RegId S7 = intReg(23);
+constexpr RegId T8 = intReg(24);
+constexpr RegId T9 = intReg(25);
+constexpr RegId GP = intReg(28);
+constexpr RegId SP = intReg(29);
+constexpr RegId FP = intReg(30);
+constexpr RegId RA = intReg(31);
+
+} // namespace wreg
+} // namespace vpir
+
+#endif // VPIR_WORKLOAD_WREGS_HH

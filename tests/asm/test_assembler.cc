@@ -1,0 +1,174 @@
+/** @file Unit tests for the embedded assembler. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "asm/assembler.hh"
+#include "isa/decode.hh"
+
+using namespace vpir;
+
+namespace
+{
+constexpr RegId R1 = 1, R2 = 2, R3 = 3;
+}
+
+TEST(Assembler, EmitsSequentialPCs)
+{
+    Assembler a;
+    a.add(R1, R2, R3);
+    a.nop();
+    a.halt();
+    Program p = a.finish();
+    ASSERT_EQ(p.text.size(), 3u);
+    EXPECT_EQ(p.at(p.textBase)->op, Op::ADD);
+    EXPECT_EQ(p.at(p.textBase + 4)->op, Op::NOP);
+    EXPECT_EQ(p.at(p.textBase + 8)->op, Op::HALT);
+}
+
+TEST(Assembler, AtRejectsBadPCs)
+{
+    Assembler a;
+    a.halt();
+    Program p = a.finish();
+    EXPECT_EQ(p.at(p.textBase - 4), nullptr);
+    EXPECT_EQ(p.at(p.textEnd()), nullptr);
+    EXPECT_EQ(p.at(p.textBase + 1), nullptr); // misaligned
+}
+
+TEST(Assembler, ForwardBranchResolves)
+{
+    Assembler a;
+    a.beq(R1, R2, "skip");
+    a.nop();
+    a.label("skip");
+    a.halt();
+    Program p = a.finish();
+    EXPECT_EQ(p.text[0].target, p.textBase + 8);
+}
+
+TEST(Assembler, BackwardBranchResolves)
+{
+    Assembler a;
+    a.label("top");
+    a.nop();
+    a.bne(R1, R2, "top");
+    Program p = a.finish();
+    EXPECT_EQ(p.text[1].target, p.textBase);
+}
+
+TEST(Assembler, JumpAndCall)
+{
+    Assembler a;
+    a.j("end");
+    a.label("end");
+    a.jal("end");
+    a.halt();
+    Program p = a.finish();
+    EXPECT_EQ(p.text[0].target, p.textBase + 4);
+    EXPECT_EQ(p.text[1].op, Op::JAL);
+    EXPECT_EQ(p.text[1].rd, REG_RA);
+    EXPECT_EQ(p.text[1].target, p.textBase + 4);
+}
+
+TEST(Assembler, DataSegmentLayout)
+{
+    Assembler a(0x1000, 0x20000);
+    a.dataLabel("tab");
+    a.word(0x11223344);
+    a.word(0xdeadbeef);
+    a.dataLabel("str");
+    a.bytes({1, 2, 3});
+    a.align(4);
+    a.dataLabel("after");
+    a.halt();
+    Program p = a.finish();
+    EXPECT_EQ(a.dataAddr("tab"), 0x20000u);
+    EXPECT_EQ(a.dataAddr("str"), 0x20008u);
+    EXPECT_EQ(a.dataAddr("after"), 0x2000cu);
+    // Little-endian layout of the first word.
+    const auto &seg = p.dataInit.front().second;
+    EXPECT_EQ(seg[0], 0x44);
+    EXPECT_EQ(seg[3], 0x11);
+}
+
+TEST(Assembler, DwordRoundTrips)
+{
+    Assembler a;
+    a.dataLabel("d");
+    a.dword(3.25);
+    a.halt();
+    Program p = a.finish();
+    const auto &seg = p.dataInit.front().second;
+    double v;
+    std::memcpy(&v, seg.data(), 8);
+    EXPECT_DOUBLE_EQ(v, 3.25);
+}
+
+TEST(Assembler, PatchWordRewritesData)
+{
+    Assembler a;
+    a.dataLabel("slot");
+    a.word(0);
+    a.halt();
+    a.patchWord(a.dataAddr("slot"), 0xcafef00d);
+    Program p = a.finish();
+    const auto &seg = p.dataInit.front().second;
+    uint32_t v;
+    std::memcpy(&v, seg.data(), 4);
+    EXPECT_EQ(v, 0xcafef00du);
+}
+
+TEST(Assembler, LaLoadsDataAddress)
+{
+    Assembler a;
+    a.dataLabel("x");
+    a.word(7);
+    a.la(R1, "x");
+    a.halt();
+    Program p = a.finish();
+    EXPECT_EQ(p.text[0].op, Op::LI);
+    EXPECT_EQ(static_cast<uint32_t>(p.text[0].imm), a.dataAddr("x"));
+}
+
+TEST(Assembler, MultEncodesHiLo)
+{
+    Assembler a;
+    a.mult(R1, R2);
+    a.halt();
+    Program p = a.finish();
+    EXPECT_EQ(p.text[0].rd, REG_LO);
+    EXPECT_EQ(p.text[0].rd2, REG_HI);
+}
+
+TEST(Assembler, StoresPutDataInRt)
+{
+    Assembler a;
+    a.sw(R1, R2, 12);
+    a.halt();
+    Program p = a.finish();
+    EXPECT_EQ(p.text[0].rs, R2); // base
+    EXPECT_EQ(p.text[0].rt, R1); // data
+    EXPECT_EQ(p.text[0].imm, 12);
+    EXPECT_EQ(p.text[0].rd, REG_INVALID);
+}
+
+TEST(AssemblerDeath, UndefinedLabelIsFatal)
+{
+    Assembler a;
+    a.j("nowhere");
+    EXPECT_DEATH(
+        {
+            Program p = a.finish();
+            (void)p;
+        },
+        "nowhere");
+}
+
+TEST(AssemblerDeath, DuplicateLabelIsFatal)
+{
+    Assembler a;
+    a.label("x");
+    EXPECT_DEATH(a.label("x"), "duplicate");
+}

@@ -1,0 +1,200 @@
+/** @file Unit tests for the branch prediction unit. */
+
+#include <gtest/gtest.h>
+
+#include "bpred/bpred.hh"
+
+using namespace vpir;
+
+namespace
+{
+
+Instr
+condBr(Addr target)
+{
+    Instr i;
+    i.op = Op::BNE;
+    i.rs = 1;
+    i.rt = 2;
+    i.target = target;
+    return i;
+}
+
+Instr
+callInst(Addr target)
+{
+    Instr i;
+    i.op = Op::JAL;
+    i.rd = REG_RA;
+    i.target = target;
+    return i;
+}
+
+Instr
+returnInst()
+{
+    Instr i;
+    i.op = Op::JR;
+    i.rs = REG_RA;
+    return i;
+}
+
+} // anonymous namespace
+
+namespace
+{
+
+/**
+ * Drive one predict/update round the way the core does: speculative
+ * history is repaired (checkpoint restore + actual outcome) whenever
+ * the prediction was wrong.
+ */
+bool
+predictAndTrain(BranchPredUnit &bp, Addr pc, const Instr &br,
+                bool outcome, Addr target)
+{
+    BpredCheckpoint cp = bp.checkpoint();
+    BpredLookup l = bp.predict(pc, br);
+    if (l.predTaken != outcome) {
+        bp.restore(cp);
+        bp.forceHistoryBit(outcome);
+    }
+    bp.update(pc, br, outcome, target, l.ghrUsed);
+    return l.predTaken == outcome;
+}
+
+} // anonymous namespace
+
+TEST(Gshare, LearnsAlwaysTaken)
+{
+    BranchPredUnit bp;
+    Instr br = condBr(0x2000);
+    // History shifts toward all-taken as training proceeds; give it
+    // enough rounds to saturate the 10-bit GHR and train that index.
+    for (int i = 0; i < 20; ++i)
+        predictAndTrain(bp, 0x1000, br, true, 0x2000);
+    BpredLookup l = bp.predict(0x1000, br);
+    EXPECT_TRUE(l.predTaken);
+    EXPECT_EQ(l.predTarget, 0x2000u);
+}
+
+TEST(Gshare, LearnsAlwaysNotTaken)
+{
+    BranchPredUnit bp;
+    Instr br = condBr(0x2000);
+    for (int i = 0; i < 4; ++i) {
+        BpredLookup l = bp.predict(0x1000, br);
+        bp.update(0x1000, br, false, 0x1004, l.ghrUsed);
+    }
+    EXPECT_FALSE(bp.predict(0x1000, br).predTaken);
+}
+
+TEST(Gshare, LearnsAlternationThroughHistory)
+{
+    BranchPredUnit bp;
+    Instr br = condBr(0x2000);
+    bool outcome = false;
+    int correct = 0;
+    for (int i = 0; i < 400; ++i) {
+        outcome = !outcome;
+        bool ok = predictAndTrain(bp, 0x1000, br, outcome,
+                                  outcome ? 0x2000 : 0x1004);
+        if (i >= 200 && ok)
+            ++correct;
+    }
+    // A T/NT alternation is trivially captured by global history.
+    EXPECT_GT(correct, 190);
+}
+
+TEST(Gshare, TableIndexUsesHistory)
+{
+    BranchPredUnit bp;
+    EXPECT_NE(bp.tableIndex(0x1000, 0), bp.tableIndex(0x1000, 0x3ff));
+}
+
+TEST(Bpred, DirectJumpPredictsTarget)
+{
+    BranchPredUnit bp;
+    Instr j;
+    j.op = Op::J;
+    j.target = 0x4444;
+    BpredLookup l = bp.predict(0x1000, j);
+    EXPECT_TRUE(l.predTaken);
+    EXPECT_EQ(l.predTarget, 0x4444u);
+}
+
+TEST(Bpred, BtbLearnsIndirectTargets)
+{
+    BranchPredUnit bp;
+    Instr jr;
+    jr.op = Op::JR;
+    jr.rs = 5; // not a return
+    BpredLookup l = bp.predict(0x1000, jr);
+    EXPECT_EQ(l.predTarget, 0x1004u); // cold BTB falls through
+    bp.update(0x1000, jr, true, 0x8000, l.ghrUsed);
+    l = bp.predict(0x1000, jr);
+    EXPECT_EQ(l.predTarget, 0x8000u);
+}
+
+TEST(Bpred, RasPredictsReturns)
+{
+    BranchPredUnit bp;
+    bp.predict(0x1000, callInst(0x5000)); // pushes 0x1004
+    bp.predict(0x2000, callInst(0x6000)); // pushes 0x2004
+    BpredLookup l = bp.predict(0x6100, returnInst());
+    EXPECT_TRUE(l.fromRas);
+    EXPECT_EQ(l.predTarget, 0x2004u);
+    l = bp.predict(0x5100, returnInst());
+    EXPECT_EQ(l.predTarget, 0x1004u);
+}
+
+TEST(Bpred, CheckpointRestoresHistoryAndRas)
+{
+    BranchPredUnit bp;
+    bp.predict(0x1000, callInst(0x5000));
+    BpredCheckpoint cp = bp.checkpoint();
+
+    // Pollute: another call and some history bits.
+    bp.predict(0x2000, callInst(0x6000));
+    Instr br = condBr(0x3000);
+    bp.predict(0x2100, br);
+    bp.predict(0x2200, br);
+
+    bp.restore(cp);
+    BpredLookup l = bp.predict(0x5100, returnInst());
+    EXPECT_EQ(l.predTarget, 0x1004u); // original RAS top
+}
+
+TEST(Bpred, ForceHistoryMatchesPredictShift)
+{
+    BranchPredUnit a, b;
+    Instr br = condBr(0x2000);
+    // a: predict (shifts predicted bit); outcome agrees.
+    BpredLookup la = a.predict(0x1000, br);
+    // b: restore-free equivalent via forceHistoryBit.
+    b.forceHistoryBit(la.predTaken);
+    EXPECT_EQ(a.predict(0x1400, br).ghrUsed,
+              b.predict(0x1400, br).ghrUsed);
+}
+
+TEST(Bpred, RedoCallAndReturn)
+{
+    BranchPredUnit bp;
+    BpredCheckpoint cp = bp.checkpoint();
+    bp.predict(0x1000, callInst(0x5000));
+    bp.restore(cp);
+    bp.redoCall(0x1004);
+    EXPECT_EQ(bp.predict(0x5100, returnInst()).predTarget, 0x1004u);
+}
+
+TEST(Bpred, DeepCallChainsWrapRas)
+{
+    BranchPredUnit bp;
+    // Overflow the 16-entry RAS; the newest 16 returns still match.
+    for (int i = 0; i < 20; ++i)
+        bp.predict(0x1000 + 16 * i, callInst(0x9000));
+    for (int i = 19; i >= 4; --i) {
+        BpredLookup l = bp.predict(0x9100, returnInst());
+        EXPECT_EQ(l.predTarget, 0x1000u + 16 * i + 4);
+    }
+}

@@ -1,0 +1,52 @@
+/** @file Unit tests for bit utilities. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutils.hh"
+
+using namespace vpir;
+
+TEST(BitUtils, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2((1ull << 40) + 1));
+}
+
+TEST(BitUtils, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+}
+
+TEST(BitUtils, SignExtend)
+{
+    EXPECT_EQ(signExtend(0xff, 8), -1);
+    EXPECT_EQ(signExtend(0x7f, 8), 127);
+    EXPECT_EQ(signExtend(0x8000, 16), -32768);
+    EXPECT_EQ(signExtendByte(0x80), -128);
+    EXPECT_EQ(signExtendByte(0x7f), 127);
+    EXPECT_EQ(signExtendHalf(0xffff), -1);
+    EXPECT_EQ(signExtendHalf(0x0001), 1);
+}
+
+TEST(BitUtils, FoldPCStaysInRange)
+{
+    for (uint32_t pc = 0; pc < 1u << 20; pc += 4093) {
+        uint32_t idx = foldPC(pc, 10);
+        EXPECT_LT(idx, 1u << 10);
+    }
+}
+
+TEST(BitUtils, FoldPCDistinguishesNearbyPCs)
+{
+    // Word-adjacent PCs should map to different indices (no trivial
+    // aliasing of consecutive instructions).
+    EXPECT_NE(foldPC(0x1000, 12), foldPC(0x1004, 12));
+    EXPECT_NE(foldPC(0x1004, 12), foldPC(0x1008, 12));
+}

@@ -1,0 +1,70 @@
+/** @file Unit tests for LRU replacement state. */
+
+#include <gtest/gtest.h>
+
+#include "common/lru.hh"
+
+using namespace vpir;
+
+TEST(LruSet, VictimIsLeastRecentlyTouched)
+{
+    LruSet l(4);
+    l.touch(0);
+    l.touch(1);
+    l.touch(2);
+    l.touch(3);
+    EXPECT_EQ(l.victim(), 0u);
+    l.touch(0);
+    EXPECT_EQ(l.victim(), 1u);
+}
+
+TEST(LruSet, UntouchedWaysAreVictimsFirst)
+{
+    LruSet l(4);
+    l.touch(2);
+    // Ways 0, 1, 3 are untouched; the first one wins ties.
+    EXPECT_EQ(l.victim(), 0u);
+}
+
+TEST(LruSet, SingleWay)
+{
+    LruSet l(1);
+    l.touch(0);
+    EXPECT_EQ(l.victim(), 0u);
+}
+
+/** Property: after touching every way in order, victims cycle in
+ *  the same order as re-touches happen. */
+TEST(LruSet, CyclesThroughVictims)
+{
+    LruSet l(4);
+    for (unsigned w = 0; w < 4; ++w)
+        l.touch(w);
+    for (unsigned round = 0; round < 12; ++round) {
+        unsigned v = l.victim();
+        EXPECT_EQ(v, round % 4);
+        l.touch(v);
+    }
+}
+
+/** Property: the victim is never a way touched more recently than
+ *  some untouched way (reference-model check). */
+TEST(LruSet, MatchesReferenceModel)
+{
+    LruSet l(8);
+    std::vector<uint64_t> stamp(8, 0);
+    uint64_t t = 0;
+    uint64_t s = 99;
+    for (int i = 0; i < 2000; ++i) {
+        s = s * 6364136223846793005ull + 1;
+        unsigned w = static_cast<unsigned>(s >> 61);
+        l.touch(w);
+        stamp[w] = ++t;
+        unsigned expect = 0;
+        for (unsigned k = 1; k < 8; ++k) {
+            if (stamp[k] < stamp[expect])
+                expect = k;
+        }
+        ASSERT_EQ(l.victim(), expect);
+    }
+}

@@ -1,0 +1,85 @@
+/** @file Unit tests for the saturating counter. */
+
+#include <gtest/gtest.h>
+
+#include "common/sat_counter.hh"
+
+using namespace vpir;
+
+TEST(SatCounter, SaturatesHigh)
+{
+    SatCounter c(2, 0);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3u);
+    EXPECT_EQ(c.max(), 3u);
+}
+
+TEST(SatCounter, SaturatesLow)
+{
+    SatCounter c(2, 3);
+    for (int i = 0; i < 10; ++i)
+        c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SatCounter, IsSetAboveMidpoint)
+{
+    SatCounter c(2, 0);
+    EXPECT_FALSE(c.isSet());
+    c.increment(); // 1
+    EXPECT_FALSE(c.isSet());
+    c.increment(); // 2
+    EXPECT_TRUE(c.isSet());
+    c.increment(); // 3
+    EXPECT_TRUE(c.isSet());
+}
+
+TEST(SatCounter, AtLeastThreshold)
+{
+    SatCounter c(3, 5);
+    EXPECT_TRUE(c.atLeast(5));
+    EXPECT_TRUE(c.atLeast(0));
+    EXPECT_FALSE(c.atLeast(6));
+}
+
+TEST(SatCounter, ResetToValue)
+{
+    SatCounter c(2, 3);
+    c.reset(1);
+    EXPECT_EQ(c.value(), 1u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+/** Property: a counter never leaves [0, max] under random walks. */
+TEST(SatCounter, StaysBoundedUnderRandomWalk)
+{
+    SatCounter c(3, 4);
+    uint64_t s = 12345;
+    for (int i = 0; i < 10000; ++i) {
+        s = s * 6364136223846793005ull + 1442695040888963407ull;
+        if (s >> 63)
+            c.increment();
+        else
+            c.decrement();
+        ASSERT_LE(c.value(), c.max());
+    }
+}
+
+class SatCounterWidth : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SatCounterWidth, MaxMatchesWidth)
+{
+    unsigned bits = GetParam();
+    SatCounter c(bits, 0);
+    EXPECT_EQ(c.max(), (1u << bits) - 1);
+    for (unsigned i = 0; i < c.max() + 5; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), c.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SatCounterWidth,
+                         ::testing::Values(1, 2, 3, 4, 8, 15));

@@ -1,0 +1,228 @@
+/** @file Core tests: instruction reuse integration. */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "core/core.hh"
+#include "sim/configs.hh"
+#include "workload/wregs.hh"
+
+using namespace vpir;
+using namespace vpir::wreg;
+
+namespace
+{
+
+/** A loop whose body recomputes the same dependent chain from a
+ *  loop-invariant load: ideal reuse prey. */
+Program
+invariantChain(int iters)
+{
+    Assembler a;
+    a.dataLabel("c");
+    a.word(12345);
+    a.dataLabel("sink");
+    a.space(8);
+    a.la(S0, "c");
+    a.li(S1, iters);
+    a.label("loop");
+    a.lw(T2, S0, 0);
+    a.sll(T3, T2, 1);
+    a.xor_(T4, T3, T2);
+    a.addi(T5, T4, 7);
+    a.mult(T5, T3);   // long-latency link in the chain
+    a.mflo(T6);
+    a.add(T6, T6, T5);
+    a.la(T7, "sink");
+    a.sw(T6, T7, 0);
+    a.addi(S1, S1, -1);
+    a.bgtz(S1, "loop");
+    a.halt();
+    return a.finish();
+}
+
+} // anonymous namespace
+
+TEST(CoreIR, ReusesInvariantChains)
+{
+    Program p = invariantChain(2000);
+    Core base(baseConfig(), p);
+    Core ir(irConfig(), p);
+    uint64_t bc = base.run().cycles;
+    uint64_t ic = ir.run().cycles;
+    EXPECT_LT(ic, bc); // reuse must help here
+    EXPECT_GT(ir.stats().reusedResults,
+              ir.stats().committedInsts / 2);
+}
+
+TEST(CoreIR, EndStateMatchesBase)
+{
+    Program p = invariantChain(500);
+    Core base(baseConfig(), p);
+    Core ir(irConfig(), p);
+    base.run();
+    ir.run();
+    EXPECT_TRUE(ir.stats().haltedCleanly);
+    EXPECT_EQ(base.stats().committedInsts, ir.stats().committedInsts);
+    for (unsigned r = 1; r < NUM_ARCH_REGS; ++r) {
+        ASSERT_EQ(base.emuState().readReg(static_cast<RegId>(r)),
+                  ir.emuState().readReg(static_cast<RegId>(r)));
+    }
+}
+
+TEST(CoreIR, EarlyValidationBeatsLate)
+{
+    // Figure 3: deferring validation to execute loses most of the
+    // benefit.
+    Program p = invariantChain(2000);
+    Core base(baseConfig(), p);
+    Core early(irConfig(IrValidation::Early), p);
+    Core late(irConfig(IrValidation::Late), p);
+    uint64_t bc = base.run().cycles;
+    uint64_t ec = early.run().cycles;
+    uint64_t lc = late.run().cycles;
+    EXPECT_LT(ec, lc);
+    EXPECT_LE(lc, bc); // late still >= base (correct predictions)
+}
+
+TEST(CoreIR, StoreInvalidationKeepsLoadsCorrect)
+{
+    // The loop alternates between reading and rewriting the same
+    // location; reused loads must always deliver the current value.
+    Assembler a;
+    a.dataLabel("cell");
+    a.word(5);
+    a.dataLabel("out");
+    a.space(4);
+    a.la(S0, "cell");
+    a.li(S1, 300);
+    a.li(S2, 0);
+    a.label("loop");
+    a.lw(T0, S0, 0);
+    a.add(S2, S2, T0);
+    a.addi(T0, T0, 1);
+    a.sw(T0, S0, 0); // kills the load's result entry
+    a.addi(S1, S1, -1);
+    a.bgtz(S1, "loop");
+    a.la(T1, "out");
+    a.sw(S2, T1, 0);
+    a.halt();
+    Program p = a.finish();
+
+    Core base(baseConfig(), p);
+    Core ir(irConfig(), p);
+    base.run();
+    ir.run();
+    // sum of 5..304
+    uint64_t expect = (5 + 304) * 300 / 2;
+    EXPECT_EQ(base.emuState().readMem(0x100004, 4), expect);
+    EXPECT_EQ(ir.emuState().readMem(0x100004, 4), expect);
+}
+
+TEST(CoreIR, ReusedBranchesResolveAtDecode)
+{
+    // A data-dependent branch whose operands repeat: once its RB
+    // entry exists, resolution latency collapses versus base.
+    Assembler a;
+    a.dataLabel("flags");
+    for (int i = 0; i < 8; ++i)
+        a.word(i % 2);
+    a.la(S0, "flags");
+    a.li(S1, 2000);
+    a.li(S2, 0);
+    a.label("loop");
+    a.andi(T0, S2, 7);
+    a.sll(T0, T0, 2);
+    a.add(T0, S0, T0);
+    a.lw(T1, T0, 0);
+    a.beq(T1, ZERO, "skip");
+    a.addi(S3, S3, 1);
+    a.label("skip");
+    a.addi(S2, S2, 1);
+    a.addi(S1, S1, -1);
+    a.bgtz(S1, "loop");
+    a.halt();
+    Program p = a.finish();
+
+    Core base(baseConfig(), p);
+    Core ir(irConfig(), p);
+    base.run();
+    ir.run();
+    double base_lat = static_cast<double>(base.stats().branchResLatSum) /
+                      static_cast<double>(base.stats().branchResCount);
+    double ir_lat = static_cast<double>(ir.stats().branchResLatSum) /
+                    static_cast<double>(ir.stats().branchResCount);
+    EXPECT_LT(ir_lat, base_lat);
+}
+
+TEST(CoreIR, RecoversSquashedWork)
+{
+    // Unpredictable branches with convergent code: work executed on
+    // the wrong path is squashed, inserted into the RB, and later
+    // reused on the correct path.
+    Assembler a;
+    a.dataLabel("tab");
+    for (int i = 0; i < 64; ++i)
+        a.word((i * 2654435761u) >> 20 & 1);
+    a.la(S0, "tab");
+    a.li(S1, 3000);
+    a.li(S2, 0);
+    a.label("loop");
+    a.andi(T0, S2, 63);
+    a.sll(T0, T0, 2);
+    a.add(T0, S0, T0);
+    a.lw(T1, T0, 0);
+    a.beq(T1, ZERO, "other");
+    // Both paths converge on the same computation.
+    a.lw(T2, S0, 0);
+    a.sll(T3, T2, 2);
+    a.add(S3, S3, T3);
+    a.j("join");
+    a.label("other");
+    a.lw(T2, S0, 0);
+    a.sll(T3, T2, 2);
+    a.add(S4, S4, T3);
+    a.label("join");
+    a.addi(S2, S2, 1);
+    a.addi(S1, S1, -1);
+    a.bgtz(S1, "loop");
+    a.halt();
+    Program p = a.finish();
+
+    Core ir(irConfig(), p);
+    const CoreStats &st = ir.run();
+    EXPECT_GT(st.squashedExecuted, 100u);
+    EXPECT_GT(st.squashedRecovered, 20u);
+}
+
+TEST(CoreIR, AddressOnlyReuseForChangingLoads)
+{
+    // Loads from a constant address whose value keeps changing: the
+    // address part reuses, the result part cannot.
+    Assembler a;
+    a.dataLabel("cell");
+    a.word(0);
+    a.la(S0, "cell");
+    a.li(S1, 500);
+    a.label("loop");
+    a.lw(T0, S0, 0);
+    a.addi(T0, T0, 3);
+    a.sw(T0, S0, 0);
+    a.addi(S1, S1, -1);
+    a.bgtz(S1, "loop");
+    a.halt();
+    Program p = a.finish();
+    Core ir(irConfig(), p);
+    const CoreStats &st = ir.run();
+    EXPECT_GT(st.reusedAddrs, st.reusedResults);
+    EXPECT_GT(st.reusedAddrs, 400u);
+}
+
+TEST(CoreIR, ReuseRatesBoundedByCommits)
+{
+    Program p = invariantChain(300);
+    Core ir(irConfig(), p);
+    const CoreStats &st = ir.run();
+    EXPECT_LE(st.reusedResults, st.committedInsts);
+    EXPECT_LE(st.reusedAddrs, st.committedMemOps);
+}

@@ -1,0 +1,230 @@
+/** @file Core tests: value prediction integration. */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "core/core.hh"
+#include "sim/configs.hh"
+#include "workload/wregs.hh"
+
+using namespace vpir;
+using namespace vpir::wreg;
+
+namespace
+{
+
+/** Serial pointer-style chain with a tiny recurring value set: the
+ *  classic VP win (IR cannot touch it because operands are never
+ *  ready at decode). */
+Program
+ringChase(int iters)
+{
+    Assembler a;
+    a.dataLabel("ring");
+    a.word(4);
+    a.word(8);
+    a.word(0);
+    a.la(S0, "ring");
+    a.li(S1, iters);
+    a.li(T1, 0);
+    a.label("loop");
+    a.add(T2, S0, T1);
+    a.lw(T1, T2, 0);
+    a.add(T2, S0, T1);
+    a.lw(T1, T2, 0);
+    a.add(T2, S0, T1);
+    a.lw(T1, T2, 0);
+    a.addi(S1, S1, -1);
+    a.bgtz(S1, "loop");
+    a.halt();
+    return a.finish();
+}
+
+CoreParams
+magic(ReexecPolicy re = ReexecPolicy::Multiple,
+      BranchResolution br = BranchResolution::Speculative,
+      unsigned lat = 0)
+{
+    return vpConfig(VpScheme::Magic, re, br, lat);
+}
+
+} // anonymous namespace
+
+TEST(CoreVP, CollapsesSerialChains)
+{
+    Program p = ringChase(2000);
+    Core base(baseConfig(), p);
+    Core vp(magic(), p);
+    uint64_t bc = base.run().cycles;
+    uint64_t vc = vp.run().cycles;
+    EXPECT_LT(vc, bc * 2 / 3); // large speedup on the chase
+    EXPECT_GT(vp.stats().vpResultCorrect,
+              vp.stats().committedInsts / 3);
+}
+
+TEST(CoreVP, EndStateMatchesBase)
+{
+    Program p = ringChase(500);
+    Core base(baseConfig(), p);
+    Core vp(magic(), p);
+    base.run();
+    vp.run();
+    EXPECT_TRUE(vp.stats().haltedCleanly);
+    EXPECT_EQ(base.stats().committedInsts, vp.stats().committedInsts);
+    for (unsigned r = 1; r < NUM_ARCH_REGS; ++r) {
+        ASSERT_EQ(base.emuState().readReg(static_cast<RegId>(r)),
+                  vp.emuState().readReg(static_cast<RegId>(r)));
+    }
+}
+
+TEST(CoreVP, LvpFailsOnAlternation)
+{
+    // A value alternating between two states every iteration: Magic
+    // (oracle instance selection) predicts it, LVP cannot.
+    Assembler a;
+    a.dataLabel("seq");
+    a.word(0);
+    a.li(S1, 1500);
+    a.li(T1, 0);
+    a.label("loop");
+    a.xori(T1, T1, 1);
+    a.add(T2, T1, T1);
+    a.add(T3, T2, T2);
+    a.add(T4, T3, T3);
+    a.addi(S1, S1, -1);
+    a.bgtz(S1, "loop");
+    a.halt();
+    Program p = a.finish();
+
+    Core m(magic(), p);
+    Core l(vpConfig(VpScheme::Lvp, ReexecPolicy::Multiple,
+                    BranchResolution::Speculative, 0),
+           p);
+    m.run();
+    l.run();
+    EXPECT_GT(m.stats().vpResultCorrect,
+              l.stats().vpResultCorrect * 2);
+}
+
+TEST(CoreVP, NmeCapsExecutionsAtTwo)
+{
+    Program p = ringChase(800);
+    Core c(magic(ReexecPolicy::Single), p);
+    const CoreStats &st = c.run();
+    EXPECT_EQ(st.execCountHist[2], 0u); // no third executions
+    EXPECT_EQ(st.execCountHist[3], 0u);
+}
+
+TEST(CoreVP, MostInstructionsExecuteOnce)
+{
+    // Table 6's shape: even under ME, >90% of instructions execute
+    // exactly once.
+    Program p = ringChase(800);
+    Core c(magic(ReexecPolicy::Multiple,
+                 BranchResolution::Speculative, 1),
+           p);
+    const CoreStats &st = c.run();
+    uint64_t total = st.execCountHist[0] + st.execCountHist[1] +
+                     st.execCountHist[2] + st.execCountHist[3];
+    EXPECT_GT(st.execCountHist[0], total * 8 / 10);
+}
+
+TEST(CoreVP, SpuriousSquashesOnlyUnderSB)
+{
+    // A predictable loop branch fed by a hard-to-predict value: SB
+    // resolves with speculative operands and squashes spuriously; NSB
+    // never does.
+    Assembler a;
+    a.dataLabel("tab");
+    for (int i = 0; i < 16; ++i)
+        a.word(static_cast<uint32_t>(i * 2654435761u) >> 16);
+    a.la(S0, "tab");
+    a.li(S1, 1200);
+    a.li(S2, 0);
+    a.label("loop");
+    a.andi(T0, S2, 15);
+    a.sll(T0, T0, 2);
+    a.add(T0, S0, T0);
+    a.lw(T1, T0, 0);      // varying value, often mispredicted
+    a.sltiu(T2, T1, 30000);
+    a.beq(T2, ZERO, "skip");  // outcome depends on T1
+    a.addi(S3, S3, 1);
+    a.label("skip");
+    a.addi(S2, S2, 1);
+    a.addi(S1, S1, -1);
+    a.bgtz(S1, "loop");
+    a.halt();
+    Program p = a.finish();
+
+    Core sb(magic(ReexecPolicy::Multiple,
+                  BranchResolution::Speculative),
+            p);
+    Core nsb(magic(ReexecPolicy::Multiple,
+                   BranchResolution::NonSpeculative),
+             p);
+    sb.run();
+    nsb.run();
+    EXPECT_EQ(nsb.stats().spuriousSquashes, 0u);
+    // Both still compute the same final state.
+    for (unsigned r = 1; r < NUM_ARCH_REGS; ++r) {
+        ASSERT_EQ(sb.emuState().readReg(static_cast<RegId>(r)),
+                  nsb.emuState().readReg(static_cast<RegId>(r)));
+    }
+}
+
+TEST(CoreVP, VerifyLatencyCostsPerformance)
+{
+    Program p = ringChase(1500);
+    Core lat0(magic(ReexecPolicy::Multiple,
+                    BranchResolution::NonSpeculative, 0),
+              p);
+    Core lat1(magic(ReexecPolicy::Multiple,
+                    BranchResolution::NonSpeculative, 1),
+              p);
+    uint64_t c0 = lat0.run().cycles;
+    uint64_t c1 = lat1.run().cycles;
+    EXPECT_GE(c1, c0);
+}
+
+TEST(CoreVP, AddressPredictionFiresForLoads)
+{
+    Program p = ringChase(1000);
+    Core c(magic(), p);
+    const CoreStats &st = c.run();
+    EXPECT_GT(st.vpAddrPredicted, 0u);
+    EXPECT_GT(st.vpAddrCorrect, st.vpAddrWrong);
+}
+
+TEST(CoreVP, WrongPredictionsNeverCorruptState)
+{
+    // LVP on alternating values mispredicts constantly; the final
+    // architectural result must still equal the base machine's.
+    Assembler a;
+    a.dataLabel("out");
+    a.space(4);
+    a.li(S1, 400);
+    a.li(T1, 7);
+    a.label("loop");
+    a.xori(T1, T1, 0x2b);
+    a.add(T2, T1, S1);
+    a.sltiu(T3, T2, 220);
+    a.beq(T3, ZERO, "skip");
+    a.addi(S4, S4, 3);
+    a.label("skip");
+    a.addi(S1, S1, -1);
+    a.bgtz(S1, "loop");
+    a.la(T0, "out");
+    a.sw(S4, T0, 0);
+    a.halt();
+    Program p = a.finish();
+
+    Core base(baseConfig(), p);
+    Core lvp(vpConfig(VpScheme::Lvp, ReexecPolicy::Multiple,
+                      BranchResolution::Speculative, 1),
+             p);
+    base.run();
+    lvp.run();
+    EXPECT_TRUE(lvp.stats().haltedCleanly);
+    EXPECT_EQ(base.emuState().readMem(0x100000, 4),
+              lvp.emuState().readMem(0x100000, 4));
+}

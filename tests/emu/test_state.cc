@@ -1,0 +1,169 @@
+/** @file Unit tests for journaled architectural state. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hh"
+#include "emu/state.hh"
+
+using namespace vpir;
+
+TEST(EmuState, R0IsHardwiredZero)
+{
+    EmuState s;
+    s.writeReg(REG_ZERO, 99);
+    EXPECT_EQ(s.readReg(REG_ZERO), 0u);
+    EXPECT_EQ(s.journalDepth(), 0u); // write was dropped entirely
+}
+
+TEST(EmuState, RegisterReadWrite)
+{
+    EmuState s;
+    s.writeReg(5, 1234);
+    EXPECT_EQ(s.readReg(5), 1234u);
+    s.writeReg(REG_HI, 7);
+    EXPECT_EQ(s.readReg(REG_HI), 7u);
+}
+
+TEST(EmuState, MemoryLittleEndian)
+{
+    EmuState s;
+    s.writeMem(0x1000, 4, 0x11223344);
+    EXPECT_EQ(s.readMem(0x1000, 1), 0x44u);
+    EXPECT_EQ(s.readMem(0x1001, 1), 0x33u);
+    EXPECT_EQ(s.readMem(0x1000, 2), 0x3344u);
+    EXPECT_EQ(s.readMem(0x1000, 4), 0x11223344u);
+}
+
+TEST(EmuState, UnmappedMemoryReadsZero)
+{
+    EmuState s;
+    EXPECT_EQ(s.readMem(0xdead0000, 4), 0u);
+}
+
+TEST(EmuState, CrossPageAccess)
+{
+    EmuState s;
+    // Write 8 bytes straddling a 4 KiB page boundary.
+    s.writeMem(0x1ffc, 8, 0x0102030405060708ull);
+    EXPECT_EQ(s.readMem(0x1ffc, 8), 0x0102030405060708ull);
+    EXPECT_EQ(s.readMem(0x2000, 4), 0x01020304u);
+}
+
+TEST(EmuState, RollbackRestoresRegisters)
+{
+    EmuState s;
+    s.writeReg(3, 10);
+    JournalMark m = s.mark();
+    s.writeReg(3, 20);
+    s.writeReg(4, 30);
+    s.rollback(m);
+    EXPECT_EQ(s.readReg(3), 10u);
+    EXPECT_EQ(s.readReg(4), 0u);
+}
+
+TEST(EmuState, RollbackRestoresMemory)
+{
+    EmuState s;
+    s.writeMem(0x100, 4, 0xaaaa);
+    JournalMark m = s.mark();
+    s.writeMem(0x100, 4, 0xbbbb);
+    s.writeMem(0x104, 2, 0x12);
+    s.rollback(m);
+    EXPECT_EQ(s.readMem(0x100, 4), 0xaaaau);
+    EXPECT_EQ(s.readMem(0x104, 2), 0u);
+}
+
+TEST(EmuState, NestedRollbacks)
+{
+    EmuState s;
+    s.writeReg(1, 1);
+    JournalMark m1 = s.mark();
+    s.writeReg(1, 2);
+    JournalMark m2 = s.mark();
+    s.writeReg(1, 3);
+    s.rollback(m2);
+    EXPECT_EQ(s.readReg(1), 2u);
+    s.rollback(m1);
+    EXPECT_EQ(s.readReg(1), 1u);
+}
+
+TEST(EmuState, RetireBoundsJournal)
+{
+    EmuState s;
+    for (int i = 0; i < 100; ++i)
+        s.writeReg(2, static_cast<uint64_t>(i));
+    EXPECT_EQ(s.journalDepth(), 100u);
+    s.retire(s.mark());
+    EXPECT_EQ(s.journalDepth(), 0u);
+    // State unaffected by retirement.
+    EXPECT_EQ(s.readReg(2), 99u);
+}
+
+TEST(EmuState, RollbackAfterPartialRetire)
+{
+    EmuState s;
+    s.writeReg(1, 1);
+    s.retire(s.mark());
+    JournalMark m = s.mark();
+    s.writeReg(1, 2);
+    s.rollback(m);
+    EXPECT_EQ(s.readReg(1), 1u);
+}
+
+TEST(EmuState, InitWritesAreNotJournaled)
+{
+    EmuState s;
+    s.initReg(7, 42);
+    s.initMem(0x10, 4, 77);
+    EXPECT_EQ(s.journalDepth(), 0u);
+    EXPECT_EQ(s.readReg(7), 42u);
+    EXPECT_EQ(s.readMem(0x10, 4), 77u);
+}
+
+/**
+ * Property test: against a reference model, random interleavings of
+ * writes, rollbacks, and retires always restore the exact state.
+ */
+TEST(EmuState, RandomisedJournalEquivalence)
+{
+    EmuState s;
+    Rng rng(2024);
+
+    struct Shadow
+    {
+        std::map<RegId, uint64_t> regs;
+        std::map<Addr, uint8_t> mem;
+    };
+    Shadow cur;
+    std::vector<std::pair<JournalMark, Shadow>> snaps;
+
+    for (int step = 0; step < 3000; ++step) {
+        uint64_t r = rng.below(100);
+        if (r < 40) {
+            RegId reg = static_cast<RegId>(1 + rng.below(30));
+            uint64_t v = rng.next();
+            s.writeReg(reg, v);
+            cur.regs[reg] = v;
+        } else if (r < 80) {
+            Addr a = static_cast<Addr>(0x4000 + rng.below(256) * 4);
+            uint32_t v = static_cast<uint32_t>(rng.next());
+            s.writeMem(a, 4, v);
+            for (int b = 0; b < 4; ++b)
+                cur.mem[a + b] = static_cast<uint8_t>(v >> (8 * b));
+        } else if (r < 90) {
+            snaps.emplace_back(s.mark(), cur);
+        } else if (!snaps.empty()) {
+            size_t k = rng.below(snaps.size());
+            s.rollback(snaps[k].first);
+            cur = snaps[k].second;
+            snaps.resize(k + 1);
+        }
+    }
+
+    for (const auto &[reg, v] : cur.regs)
+        ASSERT_EQ(s.readReg(reg), v);
+    for (const auto &[a, v] : cur.mem)
+        ASSERT_EQ(s.readMem(a, 1), v);
+}

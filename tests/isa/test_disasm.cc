@@ -1,0 +1,70 @@
+/** @file Unit tests for the disassembler. */
+
+#include <gtest/gtest.h>
+
+#include "isa/disasm.hh"
+
+using namespace vpir;
+
+TEST(Disasm, RegisterNames)
+{
+    EXPECT_EQ(regName(intReg(0)), "r0");
+    EXPECT_EQ(regName(intReg(31)), "r31");
+    EXPECT_EQ(regName(REG_HI), "hi");
+    EXPECT_EQ(regName(REG_LO), "lo");
+    EXPECT_EQ(regName(fpReg(3)), "f3");
+    EXPECT_EQ(regName(REG_FCC), "fcc");
+}
+
+TEST(Disasm, OpNames)
+{
+    EXPECT_EQ(opName(Op::ADD), "add");
+    EXPECT_EQ(opName(Op::L_D), "l.d");
+    EXPECT_EQ(opName(Op::C_LT_D), "c.lt.d");
+    EXPECT_EQ(opName(Op::HALT), "halt");
+}
+
+TEST(Disasm, LoadFormat)
+{
+    Instr i;
+    i.op = Op::LW;
+    i.rd = intReg(5);
+    i.rs = intReg(29);
+    i.imm = -8;
+    std::string s = disassemble(i);
+    EXPECT_NE(s.find("lw"), std::string::npos);
+    EXPECT_NE(s.find("r5"), std::string::npos);
+    EXPECT_NE(s.find("-8(r29)"), std::string::npos);
+}
+
+TEST(Disasm, BranchShowsTarget)
+{
+    Instr i;
+    i.op = Op::BNE;
+    i.rs = intReg(1);
+    i.rt = intReg(2);
+    i.target = 0x1040;
+    std::string s = disassemble(i);
+    EXPECT_NE(s.find("bne"), std::string::npos);
+    EXPECT_NE(s.find("0x1040"), std::string::npos);
+}
+
+/** Every opcode disassembles to something non-empty. */
+class DisasmAllOps : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DisasmAllOps, NonEmpty)
+{
+    Instr i;
+    i.op = static_cast<Op>(GetParam());
+    i.rd = intReg(1);
+    i.rs = intReg(2);
+    i.rt = intReg(3);
+    EXPECT_FALSE(disassemble(i).empty());
+    EXPECT_NE(opName(i.op), "op?");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, DisasmAllOps,
+    ::testing::Range(0, static_cast<int>(Op::NUM_OPS)));

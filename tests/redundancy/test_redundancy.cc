@@ -1,0 +1,183 @@
+/** @file Unit tests for the redundancy limit study (§4.3). */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "redundancy/redundancy.hh"
+#include "workload/wregs.hh"
+
+using namespace vpir;
+using namespace vpir::wreg;
+
+namespace
+{
+
+/** A loop recomputing a constant chain: everything repeats. */
+Program
+constantLoop(int iters)
+{
+    Assembler a;
+    a.dataLabel("c");
+    a.word(42);
+    a.la(S0, "c");
+    a.li(S1, iters);
+    a.label("loop");
+    a.lw(T0, S0, 0);
+    a.sll(T1, T0, 1);
+    a.xor_(T2, T1, T0);
+    a.addi(S1, S1, -1);
+    a.bgtz(S1, "loop");
+    a.halt();
+    return a.finish();
+}
+
+/** A pure counter: results follow a stride, never repeating. */
+Program
+counterLoop(int iters)
+{
+    Assembler a;
+    a.li(S1, iters);
+    a.li(T0, 0);
+    a.label("loop");
+    a.addi(T0, T0, 12);    // strided results: derivable
+    a.addi(S1, S1, -1);    // strided results: derivable
+    a.bgtz(S1, "loop");
+    a.halt();
+    return a.finish();
+}
+
+/** An LCG: results are effectively unique and unstrided. */
+Program
+lcgLoop(int iters)
+{
+    Assembler a;
+    a.li(S1, iters);
+    a.li(T0, 12345);
+    a.li(T1, 1103515245 & 0x7fff);
+    a.label("loop");
+    a.mult(T0, T1);
+    a.mflo(T0);
+    a.addi(T0, T0, 12345);
+    a.addi(S1, S1, -1);
+    a.bgtz(S1, "loop");
+    a.halt();
+    return a.finish();
+}
+
+} // anonymous namespace
+
+TEST(Redundancy, ConstantLoopIsRepeated)
+{
+    RedundancyStats st = analyzeRedundancy(constantLoop(500));
+    EXPECT_GT(st.resultProducing, 1000u);
+    // The chain body repeats; unique results only from the first
+    // iteration and the (derivable) countdown.
+    double repeated_frac = static_cast<double>(st.repeated) /
+                           static_cast<double>(st.resultProducing);
+    EXPECT_GT(repeated_frac, 0.55);
+    EXPECT_LT(st.unique, 20u);
+}
+
+TEST(Redundancy, CounterLoopIsDerivable)
+{
+    RedundancyStats st = analyzeRedundancy(counterLoop(500));
+    double derivable_frac = static_cast<double>(st.derivable) /
+                            static_cast<double>(st.resultProducing);
+    EXPECT_GT(derivable_frac, 0.9);
+}
+
+TEST(Redundancy, LcgIsMostlyUnique)
+{
+    RedundancyStats st = analyzeRedundancy(lcgLoop(500));
+    double unique_frac = static_cast<double>(st.unique) /
+                         static_cast<double>(st.resultProducing);
+    EXPECT_GT(unique_frac, 0.35);
+    EXPECT_LT(static_cast<double>(st.repeated) /
+                  static_cast<double>(st.resultProducing),
+              0.4);
+}
+
+TEST(Redundancy, ConstantLoopIsReusable)
+{
+    RedundancyStats st = analyzeRedundancy(constantLoop(500));
+    // Same operands every iteration and the producers reuse too:
+    // nearly all of the repeated work is reusable.
+    EXPECT_GT(st.reusableFraction(), 0.65);
+}
+
+TEST(Redundancy, CategoriesPartitionResultProducing)
+{
+    for (const Program &p :
+         {constantLoop(300), counterLoop(300), lcgLoop(300)}) {
+        RedundancyStats st = analyzeRedundancy(p);
+        EXPECT_EQ(st.unique + st.repeated + st.derivable +
+                      st.unaccounted,
+                  st.resultProducing);
+        EXPECT_EQ(st.prodReused + st.prodFar + st.prodNear,
+                  st.repeated);
+        EXPECT_LE(st.reusable, st.repeated);
+    }
+}
+
+TEST(Redundancy, UnaccountedAppearsWithTinyBuffers)
+{
+    RedundancyParams params;
+    params.maxInstances = 4;
+    RedundancyStats st = analyzeRedundancy(lcgLoop(500), params);
+    EXPECT_GT(st.unaccounted, 100u);
+}
+
+TEST(Redundancy, MaxInstsCapsAnalysis)
+{
+    RedundancyParams params;
+    params.maxInsts = 100;
+    RedundancyStats st = analyzeRedundancy(constantLoop(500), params);
+    EXPECT_LE(st.totalDynamic, 100u);
+}
+
+TEST(Redundancy, NearProducersBlockReuse)
+{
+    // A tight serial chain: each instruction's producer is the
+    // immediately preceding one (< 50 instructions), and nothing is
+    // reusable to bootstrap the chain, so inputs are never ready.
+    Assembler a;
+    a.li(S1, 300);
+    a.li(T0, 0);
+    a.label("loop");
+    a.xori(T0, T0, 1);     // alternates: repeated results
+    a.xori(T0, T0, 2);
+    a.xori(T0, T0, 4);
+    a.addi(S1, S1, -1);
+    a.bgtz(S1, "loop");
+    a.halt();
+    RedundancyStats st = analyzeRedundancy(a.finish());
+    EXPECT_GT(st.prodNear + st.prodReused, st.prodFar);
+}
+
+TEST(Redundancy, PaperBandHoldsForMixedProgram)
+{
+    // A program mixing constants, counters and a little noise should
+    // land in the paper's "most redundancy is reusable" regime.
+    Assembler a;
+    a.dataLabel("tab");
+    for (int i = 0; i < 8; ++i)
+        a.word(static_cast<uint32_t>(3 * i + 1));
+    a.la(S0, "tab");
+    a.li(S1, 400);
+    a.li(S2, 0);
+    a.label("loop");
+    a.addi(S2, S2, 1);
+    a.andi(S2, S2, 7);     // wrapping index: operand values repeat,
+                           // bootstrapping the reuse chains
+    a.sll(T0, S2, 2);
+    a.add(T1, S0, T0);
+    a.lw(T2, T1, 0);
+    a.sll(T3, T2, 1);
+    a.add(S3, S3, T3);
+    a.addi(S1, S1, -1);
+    a.bgtz(S1, "loop");
+    a.halt();
+    RedundancyStats st = analyzeRedundancy(a.finish());
+    EXPECT_GT(st.redundant(), st.resultProducing / 2);
+    EXPECT_GT(st.reusableFraction(), 0.5);
+}

@@ -1,0 +1,78 @@
+/** @file Unit tests for the named machine configurations. */
+
+#include <gtest/gtest.h>
+
+#include "sim/configs.hh"
+
+using namespace vpir;
+
+TEST(Configs, BaseMatchesTable1)
+{
+    CoreParams p = baseConfig();
+    EXPECT_EQ(p.technique, Technique::None);
+    EXPECT_EQ(p.fetchWidth, 4u);
+    EXPECT_EQ(p.issueWidth, 4u);
+    EXPECT_EQ(p.commitWidth, 4u);
+    EXPECT_EQ(p.robEntries, 32u);
+    EXPECT_EQ(p.lsqEntries, 32u);
+    EXPECT_EQ(p.maxUnresolvedBranches, 8u);
+    EXPECT_EQ(p.dcachePorts, 2u);
+    EXPECT_EQ(p.icache.sizeBytes, 64u * 1024);
+    EXPECT_EQ(p.icache.ways, 2u);
+    EXPECT_EQ(p.icache.lineBytes, 32u);
+    EXPECT_EQ(p.icache.missLatency, 6u);
+    EXPECT_EQ(p.dcache.sizeBytes, 64u * 1024);
+    EXPECT_EQ(p.bpred.historyBits, 10u);
+    EXPECT_EQ(p.bpred.tableEntries, 16u * 1024);
+}
+
+TEST(Configs, IrCarriesPaperSizedRb)
+{
+    CoreParams p = irConfig();
+    EXPECT_EQ(p.technique, Technique::IR);
+    EXPECT_EQ(p.rb.entries, 4u * 1024);
+    EXPECT_EQ(p.rb.ways, 4u);
+    EXPECT_EQ(p.irValidation, IrValidation::Early);
+    EXPECT_EQ(irConfig(IrValidation::Late).irValidation,
+              IrValidation::Late);
+}
+
+TEST(Configs, VpCarriesPaperSizedVpt)
+{
+    CoreParams p = vpConfig(VpScheme::Magic, ReexecPolicy::Single,
+                            BranchResolution::NonSpeculative, 1);
+    EXPECT_EQ(p.technique, Technique::VP);
+    EXPECT_EQ(p.vpt.entries, 16u * 1024);
+    EXPECT_EQ(p.vpt.ways, 4u);
+    EXPECT_EQ(p.vpt.scheme, VpScheme::Magic);
+    EXPECT_EQ(p.reexec, ReexecPolicy::Single);
+    EXPECT_EQ(p.branchRes, BranchResolution::NonSpeculative);
+    EXPECT_EQ(p.vpVerifyLatency, 1u);
+}
+
+TEST(Configs, HybridCarriesBothStructures)
+{
+    CoreParams p = hybridConfig();
+    EXPECT_EQ(p.technique, Technique::Hybrid);
+    EXPECT_EQ(p.vpt.entries, 16u * 1024);
+    EXPECT_EQ(p.rb.entries, 4u * 1024);
+}
+
+TEST(Configs, LabelsFollowThePaper)
+{
+    EXPECT_EQ(vpConfigLabel(ReexecPolicy::Multiple,
+                            BranchResolution::Speculative),
+              "ME-SB");
+    EXPECT_EQ(vpConfigLabel(ReexecPolicy::Single,
+                            BranchResolution::NonSpeculative),
+              "NME-NSB");
+}
+
+TEST(Configs, WithLimitsAppliesCaps)
+{
+    CoreParams p = withLimits(baseConfig(), 123, 456);
+    EXPECT_EQ(p.maxInsts, 123u);
+    EXPECT_EQ(p.maxCycles, 456u);
+    // Other fields untouched.
+    EXPECT_EQ(p.robEntries, 32u);
+}

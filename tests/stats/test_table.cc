@@ -1,0 +1,36 @@
+/** @file Unit tests for text table rendering. */
+
+#include <gtest/gtest.h>
+
+#include "stats/table.hh"
+
+using namespace vpir;
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t({"bench", "ipc"});
+    t.addRow({"go", "1.50"});
+    t.addRow({"gcc", "2.00"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("bench"), std::string::npos);
+    EXPECT_NE(out.find("go"), std::string::npos);
+    EXPECT_NE(out.find("2.00"), std::string::npos);
+    // Separator line under the header.
+    EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAligned)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"longcell", "x"});
+    std::string out = t.render();
+    // Each line ends with the final cell, no trailing padding.
+    EXPECT_EQ(out.find("x \n"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatting)
+{
+    EXPECT_EQ(TextTable::num(1.2345, 2), "1.23");
+    EXPECT_EQ(TextTable::num(1.0, 0), "1");
+    EXPECT_EQ(TextTable::num(-0.5, 1), "-0.5");
+}

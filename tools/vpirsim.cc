@@ -1,0 +1,163 @@
+/**
+ * @file
+ * vpirsim — command-line front end for the simulator: pick a
+ * workload and a configuration, run it, dump statistics.
+ *
+ * Usage:
+ *   vpirsim [options] <workload>
+ *     <workload>            go|m88ksim|ijpeg|perl|vortex|gcc|compress
+ *     --config NAME         base (default) | ir | ir-late | vp | lvp
+ *                           | hybrid
+ *     --branch sb|nsb       VP branch resolution (default sb)
+ *     --reexec me|nme       VP re-execution policy (default me)
+ *     --verify N            VP verification latency (default 0)
+ *     --max-insts N         committed-instruction limit
+ *     --max-cycles N        cycle limit
+ *     --warmup N            functional fast-forward instructions
+ *     --scale F             workload scale factor (default 1.0)
+ *     --stats               dump the full named statistics set
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "sim/simulator.hh"
+
+using namespace vpir;
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: vpirsim [--config base|ir|ir-late|vp|lvp|hybrid]\n"
+        "               [--branch sb|nsb] [--reexec me|nme]\n"
+        "               [--verify N] [--max-insts N] [--max-cycles N]\n"
+        "               [--warmup N] [--scale F] [--stats] "
+        "<workload>\n");
+    std::exit(1);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload;
+    std::string config = "base";
+    BranchResolution branch = BranchResolution::Speculative;
+    ReexecPolicy reexec = ReexecPolicy::Multiple;
+    unsigned verify = 0;
+    uint64_t max_insts = 1000000;
+    uint64_t max_cycles = UINT64_MAX;
+    uint64_t warmup = 0;
+    WorkloadScale scale;
+    bool dump_stats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--config") {
+            config = next();
+        } else if (arg == "--branch") {
+            std::string v = next();
+            branch = v == "nsb" ? BranchResolution::NonSpeculative
+                                : BranchResolution::Speculative;
+        } else if (arg == "--reexec") {
+            std::string v = next();
+            reexec = v == "nme" ? ReexecPolicy::Single
+                                : ReexecPolicy::Multiple;
+        } else if (arg == "--verify") {
+            verify = static_cast<unsigned>(std::strtoul(next(),
+                                                        nullptr, 10));
+        } else if (arg == "--max-insts") {
+            max_insts = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--max-cycles") {
+            max_cycles = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--warmup") {
+            warmup = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--scale") {
+            scale.factor = std::strtod(next(), nullptr);
+        } else if (arg == "--stats") {
+            dump_stats = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+        } else {
+            workload = arg;
+        }
+    }
+    if (workload.empty())
+        usage();
+
+    CoreParams params;
+    if (config == "base") {
+        params = baseConfig();
+    } else if (config == "ir") {
+        params = irConfig();
+    } else if (config == "ir-late") {
+        params = irConfig(IrValidation::Late);
+    } else if (config == "vp") {
+        params = vpConfig(VpScheme::Magic, reexec, branch, verify);
+    } else if (config == "lvp") {
+        params = vpConfig(VpScheme::Lvp, reexec, branch, verify);
+    } else if (config == "hybrid") {
+        params = hybridConfig(VpScheme::Magic, branch, verify);
+    } else {
+        usage();
+    }
+    params = withLimits(params, max_insts, max_cycles);
+    params.warmupInsts = warmup;
+
+    Workload w = makeWorkload(workload, scale);
+    Simulator sim(params, std::move(w.program));
+    const CoreStats &st = sim.run();
+
+    std::printf("workload    %s (%s)\n", workload.c_str(),
+                w.input.c_str());
+    std::printf("config      %s\n", config.c_str());
+    std::printf("cycles      %llu\n",
+                static_cast<unsigned long long>(st.cycles));
+    std::printf("insts       %llu\n",
+                static_cast<unsigned long long>(st.committedInsts));
+    std::printf("IPC         %.4f\n", st.ipc());
+    std::printf("br pred     %.2f%%\n",
+                st.condBranches
+                    ? 100.0 * (1.0 -
+                               static_cast<double>(
+                                   st.condMispredicted) /
+                                   static_cast<double>(
+                                       st.condBranches))
+                    : 0.0);
+    std::printf("squashes    %llu (%llu spurious)\n",
+                static_cast<unsigned long long>(st.branchSquashes),
+                static_cast<unsigned long long>(st.spuriousSquashes));
+    if (st.reusedResults) {
+        std::printf("reused      %.2f%% results, %.2f%% addresses\n",
+                    pct(static_cast<double>(st.reusedResults),
+                        static_cast<double>(st.committedInsts)),
+                    pct(static_cast<double>(st.reusedAddrs),
+                        static_cast<double>(st.committedMemOps)));
+    }
+    if (st.vpResultPredicted) {
+        std::printf("predicted   %.2f%% correct, %.2f%% wrong\n",
+                    pct(static_cast<double>(st.vpResultCorrect),
+                        static_cast<double>(st.committedInsts)),
+                    pct(static_cast<double>(st.vpResultWrong),
+                        static_cast<double>(st.committedInsts)));
+    }
+
+    if (dump_stats) {
+        StatSet out;
+        st.exportTo(out);
+        std::printf("\n%s", out.dump().c_str());
+    }
+    return 0;
+}
