@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5.cc" "bench/CMakeFiles/bench_fig5.dir/bench_fig5.cc.o" "gcc" "bench/CMakeFiles/bench_fig5.dir/bench_fig5.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vpir_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/redundancy/CMakeFiles/vpir_redundancy.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vpir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vpir_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vpir_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpred/CMakeFiles/vpir_bpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/vp/CMakeFiles/vpir_vp.dir/DependInfo.cmake"
+  "/root/repo/build/src/reuse/CMakeFiles/vpir_reuse.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vpir_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/vpir_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/vpir_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/vpir_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vpir_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

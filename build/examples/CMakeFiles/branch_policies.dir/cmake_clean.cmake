@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_policies.dir/branch_policies.cpp.o"
+  "CMakeFiles/branch_policies.dir/branch_policies.cpp.o.d"
+  "branch_policies"
+  "branch_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("stats")
+subdirs("isa")
+subdirs("asm")
+subdirs("emu")
+subdirs("mem")
+subdirs("bpred")
+subdirs("vp")
+subdirs("reuse")
+subdirs("core")
+subdirs("redundancy")
+subdirs("workload")
+subdirs("sim")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpir_asm.dir/assembler.cc.o"
+  "CMakeFiles/vpir_asm.dir/assembler.cc.o.d"
+  "libvpir_asm.a"
+  "libvpir_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpir_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpir_bpred.dir/bpred.cc.o"
+  "CMakeFiles/vpir_bpred.dir/bpred.cc.o.d"
+  "libvpir_bpred.a"
+  "libvpir_bpred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpir_bpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpir_common.dir/logging.cc.o"
+  "CMakeFiles/vpir_common.dir/logging.cc.o.d"
+  "libvpir_common.a"
+  "libvpir_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpir_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

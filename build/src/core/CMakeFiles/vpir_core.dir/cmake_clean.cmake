@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpir_core.dir/core.cc.o"
+  "CMakeFiles/vpir_core.dir/core.cc.o.d"
+  "CMakeFiles/vpir_core.dir/core_stats.cc.o"
+  "CMakeFiles/vpir_core.dir/core_stats.cc.o.d"
+  "libvpir_core.a"
+  "libvpir_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpir_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpir_emu.dir/executor.cc.o"
+  "CMakeFiles/vpir_emu.dir/executor.cc.o.d"
+  "CMakeFiles/vpir_emu.dir/state.cc.o"
+  "CMakeFiles/vpir_emu.dir/state.cc.o.d"
+  "libvpir_emu.a"
+  "libvpir_emu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpir_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpir_isa.dir/decode.cc.o"
+  "CMakeFiles/vpir_isa.dir/decode.cc.o.d"
+  "CMakeFiles/vpir_isa.dir/disasm.cc.o"
+  "CMakeFiles/vpir_isa.dir/disasm.cc.o.d"
+  "libvpir_isa.a"
+  "libvpir_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpir_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpir_mem.dir/cache.cc.o"
+  "CMakeFiles/vpir_mem.dir/cache.cc.o.d"
+  "libvpir_mem.a"
+  "libvpir_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpir_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvpir_mem.a"
+)

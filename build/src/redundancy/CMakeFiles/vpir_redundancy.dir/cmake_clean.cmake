@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpir_redundancy.dir/redundancy.cc.o"
+  "CMakeFiles/vpir_redundancy.dir/redundancy.cc.o.d"
+  "libvpir_redundancy.a"
+  "libvpir_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpir_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpir_reuse.dir/reuse_buffer.cc.o"
+  "CMakeFiles/vpir_reuse.dir/reuse_buffer.cc.o.d"
+  "libvpir_reuse.a"
+  "libvpir_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpir_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

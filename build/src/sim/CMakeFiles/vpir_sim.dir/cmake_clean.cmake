@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpir_sim.dir/configs.cc.o"
+  "CMakeFiles/vpir_sim.dir/configs.cc.o.d"
+  "CMakeFiles/vpir_sim.dir/simulator.cc.o"
+  "CMakeFiles/vpir_sim.dir/simulator.cc.o.d"
+  "libvpir_sim.a"
+  "libvpir_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpir_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

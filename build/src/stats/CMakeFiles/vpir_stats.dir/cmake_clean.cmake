@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpir_stats.dir/stats.cc.o"
+  "CMakeFiles/vpir_stats.dir/stats.cc.o.d"
+  "CMakeFiles/vpir_stats.dir/table.cc.o"
+  "CMakeFiles/vpir_stats.dir/table.cc.o.d"
+  "libvpir_stats.a"
+  "libvpir_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpir_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpir_vp.dir/vpt.cc.o"
+  "CMakeFiles/vpir_vp.dir/vpt.cc.o.d"
+  "libvpir_vp.a"
+  "libvpir_vp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpir_vp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/wl_compress.cc" "src/workload/CMakeFiles/vpir_workload.dir/wl_compress.cc.o" "gcc" "src/workload/CMakeFiles/vpir_workload.dir/wl_compress.cc.o.d"
+  "/root/repo/src/workload/wl_gcc.cc" "src/workload/CMakeFiles/vpir_workload.dir/wl_gcc.cc.o" "gcc" "src/workload/CMakeFiles/vpir_workload.dir/wl_gcc.cc.o.d"
+  "/root/repo/src/workload/wl_go.cc" "src/workload/CMakeFiles/vpir_workload.dir/wl_go.cc.o" "gcc" "src/workload/CMakeFiles/vpir_workload.dir/wl_go.cc.o.d"
+  "/root/repo/src/workload/wl_ijpeg.cc" "src/workload/CMakeFiles/vpir_workload.dir/wl_ijpeg.cc.o" "gcc" "src/workload/CMakeFiles/vpir_workload.dir/wl_ijpeg.cc.o.d"
+  "/root/repo/src/workload/wl_m88ksim.cc" "src/workload/CMakeFiles/vpir_workload.dir/wl_m88ksim.cc.o" "gcc" "src/workload/CMakeFiles/vpir_workload.dir/wl_m88ksim.cc.o.d"
+  "/root/repo/src/workload/wl_perl.cc" "src/workload/CMakeFiles/vpir_workload.dir/wl_perl.cc.o" "gcc" "src/workload/CMakeFiles/vpir_workload.dir/wl_perl.cc.o.d"
+  "/root/repo/src/workload/wl_vortex.cc" "src/workload/CMakeFiles/vpir_workload.dir/wl_vortex.cc.o" "gcc" "src/workload/CMakeFiles/vpir_workload.dir/wl_vortex.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/workload/CMakeFiles/vpir_workload.dir/workload.cc.o" "gcc" "src/workload/CMakeFiles/vpir_workload.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asm/CMakeFiles/vpir_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vpir_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/vpir_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

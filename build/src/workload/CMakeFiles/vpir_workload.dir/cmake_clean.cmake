@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpir_workload.dir/wl_compress.cc.o"
+  "CMakeFiles/vpir_workload.dir/wl_compress.cc.o.d"
+  "CMakeFiles/vpir_workload.dir/wl_gcc.cc.o"
+  "CMakeFiles/vpir_workload.dir/wl_gcc.cc.o.d"
+  "CMakeFiles/vpir_workload.dir/wl_go.cc.o"
+  "CMakeFiles/vpir_workload.dir/wl_go.cc.o.d"
+  "CMakeFiles/vpir_workload.dir/wl_ijpeg.cc.o"
+  "CMakeFiles/vpir_workload.dir/wl_ijpeg.cc.o.d"
+  "CMakeFiles/vpir_workload.dir/wl_m88ksim.cc.o"
+  "CMakeFiles/vpir_workload.dir/wl_m88ksim.cc.o.d"
+  "CMakeFiles/vpir_workload.dir/wl_perl.cc.o"
+  "CMakeFiles/vpir_workload.dir/wl_perl.cc.o.d"
+  "CMakeFiles/vpir_workload.dir/wl_vortex.cc.o"
+  "CMakeFiles/vpir_workload.dir/wl_vortex.cc.o.d"
+  "CMakeFiles/vpir_workload.dir/workload.cc.o"
+  "CMakeFiles/vpir_workload.dir/workload.cc.o.d"
+  "libvpir_workload.a"
+  "libvpir_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpir_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

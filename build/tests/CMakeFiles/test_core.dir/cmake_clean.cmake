@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_core_base.cc.o"
+  "CMakeFiles/test_core.dir/core/test_core_base.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_core_hybrid.cc.o"
+  "CMakeFiles/test_core.dir/core/test_core_hybrid.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_core_ir.cc.o"
+  "CMakeFiles/test_core.dir/core/test_core_ir.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_core_squash.cc.o"
+  "CMakeFiles/test_core.dir/core/test_core_squash.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_core_vp.cc.o"
+  "CMakeFiles/test_core.dir/core/test_core_vp.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_emu.dir/emu/test_executor.cc.o"
+  "CMakeFiles/test_emu.dir/emu/test_executor.cc.o.d"
+  "CMakeFiles/test_emu.dir/emu/test_state.cc.o"
+  "CMakeFiles/test_emu.dir/emu/test_state.cc.o.d"
+  "test_emu"
+  "test_emu.pdb"
+  "test_emu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpirsim.dir/vpirsim.cc.o"
+  "CMakeFiles/vpirsim.dir/vpirsim.cc.o.d"
+  "vpirsim"
+  "vpirsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpirsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vpirsim.
+# This may be replaced when dependencies are built.
