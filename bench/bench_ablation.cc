@@ -19,6 +19,33 @@ main()
     banner("Ablations", "VP prediction kinds and structure capacity");
     Runner runner;
 
+    // Schedule every cell of both sections before reading any result.
+    {
+        CoreParams full = vpConfig(VpScheme::Magic, ReexecPolicy::Multiple,
+                                   BranchResolution::Speculative, 0);
+        CoreParams res_only = full;
+        res_only.vpPredictAddresses = false;
+        CoreParams addr_only = full;
+        addr_only.vpPredictResults = false;
+        for (const auto &name : workloadNames()) {
+            runner.prefetch(name, "base", baseConfig());
+            runner.prefetch(name, "vp-full", full);
+            runner.prefetch(name, "vp-res", res_only);
+            runner.prefetch(name, "vp-addr", addr_only);
+        }
+        for (unsigned rb_entries : {512u, 2048u, 4096u, 8192u}) {
+            CoreParams ir = irConfig();
+            ir.rb.entries = rb_entries;
+            CoreParams vp = full;
+            vp.vpt.entries = rb_entries * 4;
+            std::string tag = std::to_string(rb_entries);
+            for (const char *wname : {"m88ksim", "perl"}) {
+                runner.prefetch(wname, "ir-" + tag, ir);
+                runner.prefetch(wname, "vp-" + tag, vp);
+            }
+        }
+    }
+
     std::printf("--- 1. VP_Magic ME-SB: which predictions matter "
                 "---\n");
     TextTable t1({"bench", "full", "results only", "addresses only"});

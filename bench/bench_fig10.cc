@@ -15,16 +15,13 @@ int
 main()
 {
     banner("Figure 10", "amount of redundancy that can be reused");
-    WorkloadScale scale = benchScale();
-    uint64_t limit = benchInstLimit();
+    std::vector<RedundancyStats> all = analyzeAllWorkloads();
 
     TextTable t({"bench", "redundant %", "reusable %",
                  "reusable/redundant %"});
-    for (const auto &name : workloadNames()) {
-        Workload w = makeWorkload(name, scale);
-        RedundancyParams params;
-        params.maxInsts = limit;
-        RedundancyStats st = analyzeRedundancy(w.program, params);
+    for (size_t i = 0; i < workloadNames().size(); ++i) {
+        const std::string &name = workloadNames()[i];
+        const RedundancyStats &st = all[i];
         double rp = static_cast<double>(st.resultProducing);
         t.addRow({name,
                   TextTable::num(pct(st.redundant(), rp), 1),

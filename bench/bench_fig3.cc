@@ -19,6 +19,11 @@ main()
 {
     banner("Figure 3", "performance benefits of early validation");
     Runner runner;
+    for (const auto &name : workloadNames()) {
+        runner.prefetch(name, "base", baseConfig());
+        runner.prefetch(name, "ir-early", irConfig(IrValidation::Early));
+        runner.prefetch(name, "ir-late", irConfig(IrValidation::Late));
+    }
 
     TextTable t({"bench", "early speedup %", "late speedup %",
                  "late/early"});

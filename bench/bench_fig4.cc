@@ -15,6 +15,28 @@ namespace
 {
 
 void
+prefetchHalf(Runner &runner, unsigned lat)
+{
+    for (const auto &name : workloadNames()) {
+        runner.prefetch(name, "base", baseConfig());
+        std::string l = std::to_string(lat);
+        runner.prefetch(name, "magic-me-sb-" + l,
+                        vpConfig(VpScheme::Magic, ReexecPolicy::Multiple,
+                                 BranchResolution::Speculative, lat));
+        runner.prefetch(name, "magic-nme-sb-" + l,
+                        vpConfig(VpScheme::Magic, ReexecPolicy::Single,
+                                 BranchResolution::Speculative, lat));
+        runner.prefetch(name, "magic-me-nsb-" + l,
+                        vpConfig(VpScheme::Magic, ReexecPolicy::Multiple,
+                                 BranchResolution::NonSpeculative, lat));
+        runner.prefetch(name, "magic-nme-nsb-" + l,
+                        vpConfig(VpScheme::Magic, ReexecPolicy::Single,
+                                 BranchResolution::NonSpeculative, lat));
+        runner.prefetch(name, "ir", irConfig());
+    }
+}
+
+void
 half(Runner &runner, unsigned lat)
 {
     std::printf("--- %u-cycle VP-verification latency ---\n", lat);
@@ -61,6 +83,8 @@ main()
            "branch resolution latency, normalised to base (< 1.0 "
            "is better)");
     Runner runner;
+    prefetchHalf(runner, 0);
+    prefetchHalf(runner, 1);
     half(runner, 0);
     half(runner, 1);
     std::printf("shape checks: all configurations reduce the latency; "

@@ -17,6 +17,22 @@ main()
 {
     banner("Figure 5", "resource contention normalised to base");
     Runner runner;
+    for (const auto &name : workloadNames()) {
+        runner.prefetch(name, "base", baseConfig());
+        runner.prefetch(name, "magic-me-sb",
+                        vpConfig(VpScheme::Magic, ReexecPolicy::Multiple,
+                                 BranchResolution::Speculative, 0));
+        runner.prefetch(name, "magic-nme-sb",
+                        vpConfig(VpScheme::Magic, ReexecPolicy::Single,
+                                 BranchResolution::Speculative, 0));
+        runner.prefetch(name, "magic-me-nsb",
+                        vpConfig(VpScheme::Magic, ReexecPolicy::Multiple,
+                                 BranchResolution::NonSpeculative, 0));
+        runner.prefetch(name, "magic-nme-nsb",
+                        vpConfig(VpScheme::Magic, ReexecPolicy::Single,
+                                 BranchResolution::NonSpeculative, 0));
+        runner.prefetch(name, "ir", irConfig());
+    }
 
     TextTable t({"bench", "base", "ME-SB", "NME-SB", "ME-NSB",
                  "NME-NSB", "reuse-n+d"});

@@ -15,6 +15,27 @@ namespace
 {
 
 void
+prefetchHalf(Runner &runner, unsigned lat)
+{
+    for (const auto &name : workloadNames()) {
+        runner.prefetch(name, "base", baseConfig());
+        std::string l = std::to_string(lat);
+        runner.prefetch(name, "lvp-me-sb-" + l,
+                        vpConfig(VpScheme::Lvp, ReexecPolicy::Multiple,
+                                 BranchResolution::Speculative, lat));
+        runner.prefetch(name, "lvp-nme-sb-" + l,
+                        vpConfig(VpScheme::Lvp, ReexecPolicy::Single,
+                                 BranchResolution::Speculative, lat));
+        runner.prefetch(name, "lvp-me-nsb-" + l,
+                        vpConfig(VpScheme::Lvp, ReexecPolicy::Multiple,
+                                 BranchResolution::NonSpeculative, lat));
+        runner.prefetch(name, "lvp-nme-nsb-" + l,
+                        vpConfig(VpScheme::Lvp, ReexecPolicy::Single,
+                                 BranchResolution::NonSpeculative, lat));
+    }
+}
+
+void
 half(Runner &runner, unsigned lat)
 {
     std::printf("--- %u-cycle VP-verification latency ---\n", lat);
@@ -61,6 +82,8 @@ main()
 {
     banner("Figure 7", "speedups with VP_LVP");
     Runner runner;
+    prefetchHalf(runner, 0);
+    prefetchHalf(runner, 1);
     half(runner, 0);
     half(runner, 1);
     std::printf(

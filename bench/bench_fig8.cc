@@ -17,16 +17,13 @@ main()
     banner("Figure 8",
            "classification of results: unique / repeated / "
            "derivable / unaccounted");
-    WorkloadScale scale = benchScale();
-    uint64_t limit = benchInstLimit();
+    std::vector<RedundancyStats> all = analyzeAllWorkloads();
 
     TextTable t({"bench", "unique %", "repeated %", "derivable %",
                  "unaccounted %"});
-    for (const auto &name : workloadNames()) {
-        Workload w = makeWorkload(name, scale);
-        RedundancyParams params;
-        params.maxInsts = limit;
-        RedundancyStats st = analyzeRedundancy(w.program, params);
+    for (size_t i = 0; i < workloadNames().size(); ++i) {
+        const std::string &name = workloadNames()[i];
+        const RedundancyStats &st = all[i];
         double rp = static_cast<double>(st.resultProducing);
         t.addRow({name, TextTable::num(pct(st.unique, rp), 1),
                   TextTable::num(pct(st.repeated, rp), 1),

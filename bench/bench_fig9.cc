@@ -17,16 +17,13 @@ main()
 {
     banner("Figure 9",
            "repeated instructions by producer readiness");
-    WorkloadScale scale = benchScale();
-    uint64_t limit = benchInstLimit();
+    std::vector<RedundancyStats> all = analyzeAllWorkloads();
 
     TextTable t({"bench", "prod reused %", "prod-dist >= 50 %",
                  "prod-dist < 50 %"});
-    for (const auto &name : workloadNames()) {
-        Workload w = makeWorkload(name, scale);
-        RedundancyParams params;
-        params.maxInsts = limit;
-        RedundancyStats st = analyzeRedundancy(w.program, params);
+    for (size_t i = 0; i < workloadNames().size(); ++i) {
+        const std::string &name = workloadNames()[i];
+        const RedundancyStats &st = all[i];
         double rep = static_cast<double>(st.repeated);
         t.addRow({name, TextTable::num(pct(st.prodReused, rep), 1),
                   TextTable::num(pct(st.prodFar, rep), 1),

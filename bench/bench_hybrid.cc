@@ -24,6 +24,14 @@ main()
     banner("Hybrid (extension)",
            "speedups: VP alone, IR alone, IR-first hybrid");
     Runner runner;
+    for (const auto &name : workloadNames()) {
+        runner.prefetch(name, "base", baseConfig());
+        runner.prefetch(name, "vp",
+                        vpConfig(VpScheme::Magic, ReexecPolicy::Multiple,
+                                 BranchResolution::Speculative, 0));
+        runner.prefetch(name, "ir", irConfig());
+        runner.prefetch(name, "hybrid", hybridConfig());
+    }
 
     TextTable t({"bench", "VP(Magic,SB)", "IR", "hybrid",
                  "hyb reuse %", "hyb pred %"});

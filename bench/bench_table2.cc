@@ -19,6 +19,8 @@ main()
 {
     banner("Table 2", "benchmarks, branch and return prediction rates");
     Runner runner;
+    for (const auto &name : workloadNames())
+        runner.prefetch(name, "base", baseConfig());
 
     TextTable t({"bench", "insts(K)", "br pred %", "(paper)",
                  "ret pred %", "(paper)"});

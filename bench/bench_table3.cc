@@ -42,6 +42,12 @@ main()
     CoreParams lvp = vpConfig(VpScheme::Lvp, ReexecPolicy::Multiple,
                               BranchResolution::Speculative, 0);
 
+    for (const auto &name : workloadNames()) {
+        runner.prefetch(name, "ir", irConfig());
+        runner.prefetch(name, "magic", magic);
+        runner.prefetch(name, "lvp", lvp);
+    }
+
     TextTable t({"bench", "ir-res", "(p)", "ir-adr", "(p)", "mag-res",
                  "(p)", "mag-mis", "(p)", "mag-adr", "(p)", "lvp-res",
                  "(p)", "lvp-mis", "(p)"});

@@ -33,6 +33,20 @@ main()
            "percent increase in control squashes (spurious "
            "mispredictions)");
     Runner runner;
+    for (const auto &name : workloadNames()) {
+        runner.prefetch(name, "magic-me-sb",
+                        vpConfig(VpScheme::Magic, ReexecPolicy::Multiple,
+                                 BranchResolution::Speculative, 0));
+        runner.prefetch(name, "magic-nme-sb",
+                        vpConfig(VpScheme::Magic, ReexecPolicy::Single,
+                                 BranchResolution::Speculative, 0));
+        runner.prefetch(name, "lvp-me-sb",
+                        vpConfig(VpScheme::Lvp, ReexecPolicy::Multiple,
+                                 BranchResolution::Speculative, 0));
+        runner.prefetch(name, "lvp-nme-sb",
+                        vpConfig(VpScheme::Lvp, ReexecPolicy::Single,
+                                 BranchResolution::Speculative, 0));
+    }
 
     TextTable t({"bench", "Magic ME-SB", "(p)", "Magic NME-SB", "(p)",
                  "LVP ME-SB", "(p)", "LVP NME-SB", "(p)"});

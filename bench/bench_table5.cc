@@ -18,6 +18,8 @@ main()
            "executed instructions squashed, and squashed work "
            "recovered by IR");
     Runner runner;
+    for (const auto &name : workloadNames())
+        runner.prefetch(name, "ir", irConfig());
 
     TextTable t({"bench", "insts exec(K)", "squashed %", "(p)",
                  "recovered %", "(p)"});

@@ -17,6 +17,10 @@ main()
     banner("Table 6", "instructions executed 1 / 2 / 3 times "
                       "(VP_Magic, ME-SB, 1-cycle)");
     Runner runner;
+    for (const auto &name : workloadNames())
+        runner.prefetch(name, "magic-me-sb-1",
+                        vpConfig(VpScheme::Magic, ReexecPolicy::Multiple,
+                                 BranchResolution::Speculative, 1));
 
     TextTable t({"bench", "1x", "(p)", "2x", "(p)", "3x", "(p)",
                  ">=4x"});

@@ -1,56 +1,131 @@
 /**
  * @file
  * Shared plumbing for the experiment harnesses: run a workload under
- * a configuration (with in-process caching so one bench can derive
- * several columns from one run), and common formatting helpers.
+ * a configuration (memoized through the parallel sweep engine so one
+ * bench can derive several columns from one run), and common
+ * formatting helpers.
  *
  * Environment knobs:
- *   VPIR_BENCH_INSTS  committed-instruction budget per run
- *                     (default 400000)
- *   VPIR_BENCH_SCALE  workload scale factor (default 1.0)
+ *   VPIR_BENCH_INSTS    committed-instruction budget per run
+ *                       (default 400000)
+ *   VPIR_BENCH_SCALE    workload scale factor (default 1.0)
+ *   VPIR_JOBS           worker threads (default hardware concurrency)
+ *   VPIR_RESULT_CACHE   on-disk result cache directory (off if unset)
+ *   VPIR_TIMING_JSON    timing report path (default bench_timing.json)
+ *   VPIR_TIMING_VERBOSE per-cell lines in the stderr summary
  */
 
 #ifndef VPIR_BENCH_BENCH_UTIL_HH
 #define VPIR_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdio>
-#include <map>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "redundancy/redundancy.hh"
 #include "sim/simulator.hh"
 #include "stats/table.hh"
+#include "sweep/sweep.hh"
 
 namespace vpir
 {
 namespace bench
 {
 
-/** Cached (benchmark, config-label) -> stats runner. */
+/**
+ * Memoized (benchmark, configuration) -> stats runner, backed by the
+ * process-wide SweepEngine. Results are keyed by a hash of the full
+ * CoreParams — not the display label — so two configs that share a
+ * label can never alias each other's cached stats, and identical
+ * configs under different labels are simulated once.
+ *
+ * Harnesses call prefetch() for every cell up front (fanning the work
+ * out across VPIR_JOBS threads), then run() in table order; run()
+ * blocks only on cells still in flight, and tables print byte-identical
+ * output for any job count. Calling run() without prefetch() still
+ * works — it just serializes on that cell.
+ */
 class Runner
 {
   public:
     Runner() : limit(benchInstLimit()), scale(benchScale()) {}
 
+    ~Runner()
+    {
+        auto &eng = sweep::SweepEngine::global();
+        if (eng.cellsComputed() + eng.cellsFromDiskCache() == 0)
+            return;
+        eng.printSummary(stderr);
+        const char *path = std::getenv("VPIR_TIMING_JSON");
+        eng.writeTimingJson(path && *path ? path : "bench_timing.json");
+    }
+
+    /** Schedule a cell without waiting for its result. */
+    void
+    prefetch(const std::string &workload, const std::string &label,
+             const CoreParams &params)
+    {
+        sweep::SweepEngine::global().prefetch(cell(workload, label, params));
+    }
+
     const CoreStats &
     run(const std::string &workload, const std::string &label,
         const CoreParams &params)
     {
-        std::string key = workload + "/" + label;
-        auto it = cache.find(key);
-        if (it != cache.end())
-            return it->second;
-        CoreParams p = withLimits(params, limit);
-        CoreStats st = runWorkload(workload, p, scale);
-        return cache.emplace(key, st).first->second;
+        return sweep::SweepEngine::global().get(cell(workload, label, params));
     }
 
     uint64_t instLimit() const { return limit; }
 
   private:
+    sweep::SweepCell
+    cell(const std::string &workload, const std::string &label,
+         const CoreParams &params) const
+    {
+        return sweep::SweepCell{workload, label, withLimits(params, limit),
+                                scale};
+    }
+
     uint64_t limit;
     WorkloadScale scale;
-    std::map<std::string, CoreStats> cache;
 };
+
+/**
+ * Run the redundancy limit study (fig 8-10) over every workload on
+ * VPIR_JOBS threads. Results come back in workloadNames() order, so
+ * table output is independent of the job count; an aggregate timing
+ * line goes to stderr.
+ */
+inline std::vector<RedundancyStats>
+analyzeAllWorkloads()
+{
+    const auto &names = workloadNames();
+    WorkloadScale scale = benchScale();
+    uint64_t limit = benchInstLimit();
+    std::vector<RedundancyStats> out(names.size());
+    auto t0 = std::chrono::steady_clock::now();
+    sweep::parallelFor(names.size(), [&](size_t i) {
+        Workload w = makeWorkload(names[i], scale);
+        RedundancyParams params;
+        params.maxInsts = limit;
+        out[i] = analyzeRedundancy(w.program, params);
+    });
+    double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    uint64_t insts = 0;
+    for (const RedundancyStats &st : out)
+        insts += st.totalDynamic;
+    std::fprintf(stderr,
+                 "[sweep] %zu analysis cells, jobs=%u: wall %.2f s, "
+                 "%.1f M insts, %.1f MIPS\n",
+                 names.size(), sweep::defaultJobs(), wall,
+                 static_cast<double>(insts) / 1e6,
+                 wall > 0.0 ? static_cast<double>(insts) / wall / 1e6 : 0.0);
+    return out;
+}
 
 /** Conditional-branch direction prediction rate (%). */
 inline double

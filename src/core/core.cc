@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <mutex>
 
 #include "common/logging.hh"
 #include "isa/disasm.hh"
@@ -27,6 +28,13 @@ Core::Core(const CoreParams &p, const Program &program)
     Emulator::loadProgram(program, state);
     for (auto &r : regProducer)
         r = RobRef{};
+
+    // One decode-table lookup per *static* instruction; the pipeline
+    // reads the cached pointer for every dynamic instance.
+    decodeCache.reserve(program.text.size());
+    for (const Instr &i : program.text)
+        decodeCache.push_back(&decodeInfo(i.op));
+    orderScratch.reserve(p.robEntries);
 
     // Functional fast-forward (paper §4.1.5): execute the first
     // warmupInsts instructions on the emulator alone, then start the
@@ -57,17 +65,6 @@ Core::allocRob()
     robTail = (robTail + 1) % static_cast<int>(params.robEntries);
     ++robUsed;
     return slot;
-}
-
-void
-Core::forEachInOrder(const std::function<bool(int)> &fn) const
-{
-    int slot = robHead;
-    for (unsigned i = 0; i < robUsed; ++i) {
-        if (!fn(slot))
-            return;
-        slot = (slot + 1) % static_cast<int>(params.robEntries);
-    }
 }
 
 uint64_t
@@ -124,8 +121,7 @@ Core::unresolvedBranches() const
         return true;
     });
     for (const FetchedInst &f : fetchQueue) {
-        if (f.isCtrl &&
-            (isCondBranch(f.inst.op) || isIndirectJump(f.inst.op)))
+        if (f.resolvable)
             ++n;
     }
     return n;
@@ -166,7 +162,11 @@ Core::fetchStage()
         FetchedInst f;
         f.pc = fetchPC;
         f.inst = *ip;
-        f.isCtrl = isControl(ip->op);
+        f.di = decodeAt(fetchPC);
+        f.isCtrl = f.di->cls == InstClass::Branch ||
+                   f.di->cls == InstClass::Jump;
+        f.resolvable = f.di->cls == InstClass::Branch ||
+                       isIndirectJump(ip->op);
 
         if (ip->op == Op::HALT) {
             f.predNextPC = fetchPC; // fetch stops here
@@ -177,9 +177,7 @@ Core::fetchStage()
 
         bool taken_stop = false;
         if (f.isCtrl) {
-            bool resolvable =
-                isCondBranch(ip->op) || isIndirectJump(ip->op);
-            if (resolvable &&
+            if (f.resolvable &&
                 unresolvedBranches() >= params.maxUnresolvedBranches) {
                 break; // Table 1: max 8 unresolved branches
             }
@@ -294,8 +292,7 @@ Core::tryDispatchReuse(int slot)
             }
             Addr lo = e.exec.out.memAddr;
             Addr s_lo = s.curMemAddr;
-            if (lo < s_lo + memSize(s.inst.op) &&
-                s_lo < lo + e.memSz) {
+            if (lo < s_lo + s.memSz && s_lo < lo + e.memSz) {
                 result_ok = false;
                 break;
             }
@@ -370,7 +367,9 @@ Core::dispatchStage()
     unsigned dispatched = 0;
     while (dispatched < params.dispatchWidth && !fetchQueue.empty()) {
         const FetchedInst &f = fetchQueue.front();
-        bool is_mem = isMem(f.inst.op);
+        const DecodeInfo &di = *f.di;
+        bool is_mem = di.cls == InstClass::Load ||
+                      di.cls == InstClass::Store;
         if (is_mem && lsq.size() >= params.lsqEntries)
             break;
         int slot = allocRob();
@@ -385,17 +384,17 @@ Core::dispatchStage()
         e.seq = nextSeq++;
         e.pc = f.pc;
         e.inst = er.inst;
-        e.cls = decodeInfo(er.inst.op).cls;
+        e.cls = di.cls;
+        e.di = f.di;
         e.exec = er;
         e.postMark = state.mark();
         e.dispatchCycle = curCycle;
         e.isHalt = er.halted;
-        e.isLd = isLoad(er.inst.op);
-        e.isSt = isStore(er.inst.op);
+        e.isLd = di.cls == InstClass::Load;
+        e.isSt = di.cls == InstClass::Store;
         e.memSz = memSize(er.inst.op);
         e.isCtrl = f.isCtrl;
-        e.resolvable =
-            isCondBranch(er.inst.op) || isIndirectJump(er.inst.op);
+        e.resolvable = f.resolvable;
         e.predTaken = f.predTaken;
         e.predNextPC = f.predNextPC;
         e.followedNextPC = f.predNextPC;
@@ -493,7 +492,7 @@ Core::loadMayAccess(int slot, bool &forward, RobRef &conflict) const
             return false;
         }
         Addr s_lo = s.curMemAddr;
-        unsigned s_sz = memSize(s.inst.op);
+        unsigned s_sz = s.memSz;
         Addr l_lo = e.curMemAddr;
         if (l_lo < s_lo + s_sz && s_lo < l_lo + e.memSz) {
             if (s_lo == l_lo && s_sz == e.memSz) {
@@ -550,7 +549,7 @@ Core::issueEntry(int slot)
         e.pendMemAddr = o.memAddr;
     }
 
-    const DecodeInfo &di = decodeInfo(e.inst.op);
+    const DecodeInfo &di = *e.di;
     uint64_t complete = curCycle + di.opLat;
 
     if (e.isLd) {
@@ -590,14 +589,13 @@ void
 Core::issueStage()
 {
     unsigned issued = 0;
-    std::vector<int> order;
-    order.reserve(robUsed);
+    orderScratch.clear();
     forEachInOrder([&](int slot) {
-        order.push_back(slot);
+        orderScratch.push_back(slot);
         return true;
     });
 
-    for (int slot : order) {
+    for (int slot : orderScratch) {
         RobEntry &e = at(slot);
         if (!e.valid || !e.needsExec || e.inFlight || e.finalized)
             continue;
@@ -664,8 +662,7 @@ Core::issueStage()
             continue;
         }
         bool skip_agen_fu = e.isLd && (e.addrReused);
-        FuType fu = skip_agen_fu ? FuType::None
-                                 : decodeInfo(e.inst.op).fu;
+        FuType fu = skip_agen_fu ? FuType::None : e.di->fu;
         if (!fus.available(fu, curCycle)) {
             ++st.resourceDenied;
             continue;
@@ -674,7 +671,7 @@ Core::issueStage()
             ++st.resourceDenied;
             continue;
         }
-        fus.acquire(fu, curCycle, decodeInfo(e.inst.op).issueLat);
+        fus.acquire(fu, curCycle, e.di->issueLat);
         if (needs_port)
             ++dcachePortsUsed;
         issueEntry(slot);
@@ -797,12 +794,12 @@ Core::resolveControl()
 {
     // Oldest-first; a squash removes all younger entries, so restart
     // scanning is unnecessary (they are gone).
-    std::vector<int> order;
+    orderScratch.clear();
     forEachInOrder([&](int slot) {
-        order.push_back(slot);
+        orderScratch.push_back(slot);
         return true;
     });
-    for (int slot : order) {
+    for (int slot : orderScratch) {
         RobEntry &e = at(slot);
         if (!e.valid || !e.isCtrl || !e.resolvable)
             continue;
@@ -885,7 +882,7 @@ Core::squashAfter(int slot, Addr redirect)
     // taken before this instruction predicted, then re-apply its own
     // effect with the outcome just used for the redirect.
     bpred.restore(e.bpCp);
-    if (isCondBranch(e.inst.op))
+    if (e.cls == InstClass::Branch)
         bpred.forceHistoryBit(e.curTaken);
     if (isCall(e.inst.op))
         bpred.redoCall(e.pc + 4);
@@ -947,8 +944,11 @@ Core::insertIntoRb(int slot)
 namespace
 {
 
-/** VPIR_BPRED_DEBUG=1: per-PC conditional mispredict histogram. */
+/** VPIR_BPRED_DEBUG=1: per-PC conditional mispredict histogram.
+ *  Shared across cores; the sweep engine runs simulations on several
+ *  threads, so updates take the mutex (only when the knob is set). */
 std::map<Addr, std::pair<uint64_t, uint64_t>> bpredDebugMap;
+std::mutex bpredDebugMu;
 
 bool
 bpredDebugEnabled()
@@ -962,6 +962,7 @@ bpredDebugEnabled()
 void
 dumpBpredDebug()
 {
+    std::lock_guard<std::mutex> lk(bpredDebugMu);
     std::vector<std::pair<Addr, std::pair<uint64_t, uint64_t>>> v(
         bpredDebugMap.begin(), bpredDebugMap.end());
     std::sort(v.begin(), v.end(), [](const auto &a, const auto &b) {
@@ -984,11 +985,12 @@ Core::trainPredictors(RobEntry &e)
     if (e.isCtrl) {
         bpred.update(e.pc, e.inst, e.exec.out.taken, e.exec.out.nextPC,
                      e.ghrUsed);
-        if (isCondBranch(e.inst.op)) {
+        if (e.cls == InstClass::Branch) {
             ++st.condBranches;
             if (e.predTaken != e.exec.out.taken)
                 ++st.condMispredicted;
             if (bpredDebugEnabled()) {
+                std::lock_guard<std::mutex> lk(bpredDebugMu);
                 auto &d = bpredDebugMap[e.pc];
                 ++d.first;
                 if (e.predTaken != e.exec.out.taken)

@@ -29,6 +29,7 @@
 #include "core/params.hh"
 #include "emu/executor.hh"
 #include "emu/state.hh"
+#include "isa/decode.hh"
 #include "mem/cache.hh"
 #include "reuse/reuse_buffer.hh"
 #include "vp/vpt.hh"
@@ -53,6 +54,8 @@ struct RobEntry
     Addr pc = 0;
     Instr inst;
     InstClass cls = InstClass::Nop;
+    const DecodeInfo *di = nullptr; //!< static decode info, cached at
+                                    //!< dispatch (never re-looked-up)
     ExecResult exec;            //!< oracle outcome along this path
     JournalMark postMark = 0;   //!< journal position after emu step
     uint64_t dispatchCycle = 0;
@@ -142,7 +145,9 @@ struct FetchedInst
 {
     Addr pc = 0;
     Instr inst;
+    const DecodeInfo *di = nullptr; //!< cached per static instruction
     bool isCtrl = false;
+    bool resolvable = false; //!< cond branch or indirect jump
     Addr predNextPC = 0;
     bool predTaken = false;
     uint32_t ghrUsed = 0;
@@ -184,7 +189,28 @@ class Core
     const RobEntry &at(int slot) const { return rob[slot]; }
     bool refAlive(const RobRef &r) const;
     int allocRob();
-    void forEachInOrder(const std::function<bool(int)> &fn) const;
+
+    /** Visit live ROB slots oldest-first until @p fn returns false.
+     *  A template (not std::function) — this runs every cycle and
+     *  must not allocate. */
+    template <typename Fn>
+    void
+    forEachInOrder(Fn &&fn) const
+    {
+        int slot = robHead;
+        for (unsigned i = 0; i < robUsed; ++i) {
+            if (!fn(slot))
+                return;
+            slot = (slot + 1) % static_cast<int>(params.robEntries);
+        }
+    }
+
+    /** Decode info of the text instruction at @p pc (must be valid). */
+    const DecodeInfo *
+    decodeAt(Addr pc) const
+    {
+        return decodeCache[(pc - prog.textBase) / 4];
+    }
 
     /** Value of register @p reg as produced by entry @p e. */
     uint64_t entryValueFor(const RobEntry &e, RegId reg) const;
@@ -227,6 +253,11 @@ class Core
     FuPool fus;
 
     // --- machine state ----------------------------------------------
+    /** DecodeInfo per static instruction, built once at construction
+     *  so the pipeline never re-decodes a dynamic instruction. */
+    std::vector<const DecodeInfo *> decodeCache;
+    /** Reused issue/resolve scan buffer (no per-cycle allocation). */
+    std::vector<int> orderScratch;
     std::vector<RobEntry> rob;
     int robHead = 0;
     int robTail = 0; //!< next free slot

@@ -16,6 +16,9 @@ ReuseBuffer::ReuseBuffer(const RbParams &p) : params(p)
     VPIR_ASSERT(isPowerOf2(numSets), "set count not a power of two");
     entries.assign(p.entries, Entry());
     lru.assign(numSets, LruSet(p.ways));
+    // One bucket per entry is a comfortable upper bound on distinct
+    // load words tracked at once; avoids steady-state rehashing.
+    loadIndex.reserve(p.entries);
 }
 
 uint32_t
@@ -54,6 +57,8 @@ ReuseBuffer::probe(Addr pc, const Instr &inst,
 {
     RbProbeResult r;
     uint32_t si = setIndex(pc);
+    const bool is_ld = isLoad(inst.op);
+    const bool is_st = isStore(inst.op);
 
     for (unsigned w = 0; w < params.ways; ++w) {
         const Entry &e = entries[si * params.ways + w];
@@ -63,13 +68,13 @@ ReuseBuffer::probe(Addr pc, const Instr &inst,
         bool op0 = operandOk(e.ops[0], ops_q[0]);
         bool op1 = operandOk(e.ops[1], ops_q[1]);
 
-        if (isLoad(inst.op)) {
+        if (is_ld) {
             // Address part depends only on the base register (op 0).
             if (!op0)
                 continue;
             r.addrReused = true;
             r.resultReused = e.memValid;
-        } else if (isStore(inst.op)) {
+        } else if (is_st) {
             // Stores have no result; a base-operand match reuses the
             // address computation.
             if (!op0)
@@ -93,7 +98,7 @@ ReuseBuffer::probe(Addr pc, const Instr &inst,
 
         // Prefer a full-result hit; keep scanning only if this way gave
         // just an address hit and a later way might do better.
-        if (r.resultReused || isStore(inst.op))
+        if (r.resultReused || is_st)
             return r;
     }
     return r;
@@ -116,8 +121,7 @@ void
 ReuseBuffer::registerLoad(int idx)
 {
     const Entry &e = entries[idx];
-    unsigned size = memSize(e.op);
-    for (Addr a = e.memAddr & ~3u; a < e.memAddr + size; a += 4)
+    for (Addr a = e.memAddr & ~3u; a < e.memAddr + e.memSz; a += 4)
         loadIndex[a].push_back(idx);
 }
 
@@ -125,8 +129,7 @@ void
 ReuseBuffer::unregisterLoad(int idx)
 {
     const Entry &e = entries[idx];
-    unsigned size = memSize(e.op);
-    for (Addr a = e.memAddr & ~3u; a < e.memAddr + size; a += 4) {
+    for (Addr a = e.memAddr & ~3u; a < e.memAddr + e.memSz; a += 4) {
         auto it = loadIndex.find(a);
         if (it == loadIndex.end())
             continue;
@@ -172,7 +175,14 @@ ReuseBuffer::insert(const RbInsertInfo &info)
 
     int idx = static_cast<int>(si * params.ways + way);
     Entry &e = entries[idx];
-    if (e.valid && isLoad(e.op))
+
+    const bool new_ld = isLoad(info.inst.op);
+    const unsigned new_sz = memSize(info.inst.op);
+    // A refreshed load covering the same span keeps its loadIndex
+    // registrations; only a changed span pays the map updates.
+    const bool same_span = e.valid && e.isLd && new_ld &&
+                           e.memAddr == info.memAddr && e.memSz == new_sz;
+    if (e.valid && e.isLd && !same_span)
         unregisterLoad(idx);
 
     if (fresh)
@@ -191,10 +201,12 @@ ReuseBuffer::insert(const RbInsertInfo &info)
     e.nextPC = info.nextPC;
     e.memAddr = info.memAddr;
     e.memValue = info.memValue;
-    e.memValid = isLoad(info.inst.op);
+    e.memValid = new_ld;
     e.fromSquashed = false;
+    e.isLd = new_ld;
+    e.memSz = new_sz;
 
-    if (isLoad(info.inst.op))
+    if (new_ld && !same_span)
         registerLoad(idx);
 
     lru[si].touch(static_cast<unsigned>(way));

@@ -158,6 +158,8 @@ class ReuseBuffer
         uint64_t memValue = 0;
         bool memValid = false;     //!< loads: result not killed by store
         bool fromSquashed = false; //!< inserted by squashed instruction
+        bool isLd = false;         //!< cached isLoad(op)
+        unsigned memSz = 0;        //!< cached memSize(op), 0 if not mem
         uint64_t serial = 0;
     };
 

@@ -1,0 +1,103 @@
+#include "sweep/stats_json.hh"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace vpir
+{
+namespace sweep
+{
+
+std::string
+statsToJson(const CoreStats &st)
+{
+    std::string out = "{";
+    bool first = true;
+    auto emit = [&](const char *name, uint64_t v) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "%s\"%s\": %" PRIu64,
+                      first ? "" : ", ", name, v);
+        out += buf;
+        first = false;
+    };
+    forEachStatField(st, [&](const char *name, const uint64_t &v) {
+        emit(name, v);
+    });
+    emit("haltedCleanly", st.haltedCleanly ? 1 : 0);
+    out += "}";
+    return out;
+}
+
+namespace
+{
+
+/** Scan "name": value pairs of a flat JSON object into the visitor's
+ *  matching fields; counts how many fields were filled. */
+class FlatJsonScanner
+{
+  public:
+    explicit FlatJsonScanner(const std::string &text) : s(text) {}
+
+    bool
+    lookup(const char *name, uint64_t &out) const
+    {
+        std::string needle = std::string("\"") + name + "\"";
+        size_t pos = s.find(needle);
+        if (pos == std::string::npos)
+            return false;
+        pos += needle.size();
+        while (pos < s.size() &&
+               (s[pos] == ':' || std::isspace(
+                                     static_cast<unsigned char>(s[pos]))))
+            ++pos;
+        if (pos >= s.size() ||
+            !std::isdigit(static_cast<unsigned char>(s[pos])))
+            return false;
+        uint64_t v = 0;
+        while (pos < s.size() &&
+               std::isdigit(static_cast<unsigned char>(s[pos]))) {
+            v = v * 10 + static_cast<uint64_t>(s[pos] - '0');
+            ++pos;
+        }
+        out = v;
+        return true;
+    }
+
+  private:
+    const std::string &s;
+};
+
+} // anonymous namespace
+
+bool
+statsFromJson(const std::string &json, CoreStats &out)
+{
+    FlatJsonScanner scan(json);
+    CoreStats tmp;
+    bool ok = true;
+    forEachStatField(tmp, [&](const char *name, uint64_t &v) {
+        if (!scan.lookup(name, v))
+            ok = false;
+    });
+    uint64_t halted = 0;
+    if (!scan.lookup("haltedCleanly", halted))
+        ok = false;
+    tmp.haltedCleanly = halted != 0;
+    if (!ok)
+        return false;
+    out = tmp;
+    return true;
+}
+
+bool
+statsEqual(const CoreStats &a, const CoreStats &b)
+{
+    // The serialization covers every counter, so textual equality is
+    // exact equality (and mismatches are easy to diff in test logs).
+    return statsToJson(a) == statsToJson(b);
+}
+
+} // namespace sweep
+} // namespace vpir

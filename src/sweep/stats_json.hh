@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Lossless JSON (de)serialization of CoreStats for the sweep engine's
+ * on-disk result cache, plus a generic field visitor the sweep tests
+ * use to compare two stat sets bit for bit.
+ */
+
+#ifndef VPIR_SWEEP_STATS_JSON_HH
+#define VPIR_SWEEP_STATS_JSON_HH
+
+#include <string>
+
+#include "core/core_stats.hh"
+
+namespace vpir
+{
+namespace sweep
+{
+
+/**
+ * Visit every scalar counter of a CoreStats by name. The visitor
+ * signature is fn(const char *name, uint64_t &value); haltedCleanly
+ * is visited as 0/1 through a proxy, the execCountHist buckets as
+ * execCountHist0..3. Serialization, parsing, and stat comparison all
+ * share this single field list so they cannot drift apart.
+ */
+template <typename Stats, typename Fn>
+void
+forEachStatField(Stats &st, Fn &&fn)
+{
+#define VPIR_STAT_FIELD(name) fn(#name, st.name)
+    VPIR_STAT_FIELD(cycles);
+    VPIR_STAT_FIELD(committedInsts);
+    VPIR_STAT_FIELD(committedMemOps);
+    VPIR_STAT_FIELD(committedLoads);
+    VPIR_STAT_FIELD(committedStores);
+    VPIR_STAT_FIELD(executedInsts);
+    VPIR_STAT_FIELD(squashedExecuted);
+    VPIR_STAT_FIELD(squashedRecovered);
+    VPIR_STAT_FIELD(branchSquashes);
+    VPIR_STAT_FIELD(spuriousSquashes);
+    VPIR_STAT_FIELD(condBranches);
+    VPIR_STAT_FIELD(condMispredicted);
+    VPIR_STAT_FIELD(returns);
+    VPIR_STAT_FIELD(returnMispredicted);
+    VPIR_STAT_FIELD(branchResLatSum);
+    VPIR_STAT_FIELD(branchResCount);
+    VPIR_STAT_FIELD(resourceRequests);
+    VPIR_STAT_FIELD(resourceDenied);
+    fn("execCountHist0", st.execCountHist[0]);
+    fn("execCountHist1", st.execCountHist[1]);
+    fn("execCountHist2", st.execCountHist[2]);
+    fn("execCountHist3", st.execCountHist[3]);
+    VPIR_STAT_FIELD(reusedResults);
+    VPIR_STAT_FIELD(reusedAddrs);
+    VPIR_STAT_FIELD(reusedControl);
+    VPIR_STAT_FIELD(resolvableControl);
+    VPIR_STAT_FIELD(vpResultPredicted);
+    VPIR_STAT_FIELD(vpResultCorrect);
+    VPIR_STAT_FIELD(vpResultWrong);
+    VPIR_STAT_FIELD(vpAddrPredicted);
+    VPIR_STAT_FIELD(vpAddrCorrect);
+    VPIR_STAT_FIELD(vpAddrWrong);
+    VPIR_STAT_FIELD(valueMispredictEvents);
+    VPIR_STAT_FIELD(icacheAccesses);
+    VPIR_STAT_FIELD(icacheMisses);
+    VPIR_STAT_FIELD(dcacheAccesses);
+    VPIR_STAT_FIELD(dcacheMisses);
+#undef VPIR_STAT_FIELD
+}
+
+/** Render the counters as a flat JSON object (uint64 as decimal). */
+std::string statsToJson(const CoreStats &st);
+
+/**
+ * Parse a JSON object produced by statsToJson() back into @p out.
+ * @return false (leaving @p out untouched) on any malformed input or
+ * missing field — callers fall back to recomputation.
+ */
+bool statsFromJson(const std::string &json, CoreStats &out);
+
+/** Exact equality over every counter (including haltedCleanly). */
+bool statsEqual(const CoreStats &a, const CoreStats &b);
+
+} // namespace sweep
+} // namespace vpir
+
+#endif // VPIR_SWEEP_STATS_JSON_HH

@@ -1,0 +1,571 @@
+#include "sweep/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "sim/simulator.hh"
+#include "sweep/stats_json.hh"
+
+namespace vpir
+{
+namespace sweep
+{
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // anonymous namespace
+
+unsigned
+defaultJobs()
+{
+    if (const char *s = std::getenv("VPIR_JOBS")) {
+        long v = std::strtol(s, nullptr, 10);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+        warn("ignoring invalid VPIR_JOBS");
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+std::string
+defaultCacheDir()
+{
+    if (const char *s = std::getenv("VPIR_RESULT_CACHE"))
+        return s;
+    return "";
+}
+
+// --------------------------------------------------------------- hash
+
+namespace
+{
+
+constexpr uint64_t FNV_OFFSET = 0xcbf29ce484222325ull;
+constexpr uint64_t FNV_PRIME = 0x100000001b3ull;
+
+void
+mix(uint64_t &h, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= FNV_PRIME;
+    }
+}
+
+void
+mixCache(uint64_t &h, const CacheParams &c)
+{
+    mix(h, c.sizeBytes);
+    mix(h, c.ways);
+    mix(h, c.lineBytes);
+    mix(h, c.hitLatency);
+    mix(h, c.missLatency);
+}
+
+} // anonymous namespace
+
+uint64_t
+hashParams(const CoreParams &p)
+{
+    // Every field of CoreParams (and its nested parameter structs)
+    // must be mixed in: a skipped field is a latent stale-cache
+    // collision. This guard fails to compile when CoreParams changes
+    // size — update the field list below, then the constant.
+    static_assert(sizeof(CoreParams) == 160,
+                  "CoreParams changed: update hashParams()");
+
+    uint64_t h = FNV_OFFSET;
+    mix(h, p.fetchWidth);
+    mix(h, p.fetchQueueSize);
+    mix(h, p.dispatchWidth);
+    mix(h, p.issueWidth);
+    mix(h, p.commitWidth);
+    mix(h, p.robEntries);
+    mix(h, p.lsqEntries);
+    mix(h, p.maxUnresolvedBranches);
+    mix(h, p.dcachePorts);
+    mixCache(h, p.icache);
+    mixCache(h, p.dcache);
+    mix(h, p.bpred.historyBits);
+    mix(h, p.bpred.tableEntries);
+    mix(h, p.bpred.btbEntries);
+    mix(h, p.bpred.rasEntries);
+    mix(h, static_cast<uint64_t>(p.technique));
+    mix(h, p.vpt.entries);
+    mix(h, p.vpt.ways);
+    mix(h, static_cast<uint64_t>(p.vpt.scheme));
+    mix(h, p.vpt.confidenceBits);
+    mix(h, p.vpt.confidenceThreshold);
+    mix(h, p.rb.entries);
+    mix(h, p.rb.ways);
+    mix(h, static_cast<uint64_t>(p.branchRes));
+    mix(h, static_cast<uint64_t>(p.reexec));
+    mix(h, p.vpVerifyLatency);
+    mix(h, static_cast<uint64_t>(p.irValidation));
+    mix(h, p.vpPredictResults ? 1 : 0);
+    mix(h, p.vpPredictAddresses ? 1 : 0);
+    mix(h, p.maxCycles);
+    mix(h, p.maxInsts);
+    mix(h, p.warmupInsts);
+    return h;
+}
+
+uint64_t
+cellHash(const SweepCell &cell)
+{
+    uint64_t h = hashParams(cell.params);
+    for (char c : cell.workload) {
+        h ^= static_cast<unsigned char>(c);
+        h *= FNV_PRIME;
+    }
+    uint64_t scale_bits;
+    static_assert(sizeof(scale_bits) == sizeof(cell.scale.factor),
+                  "scale factor must be 64-bit");
+    std::memcpy(&scale_bits, &cell.scale.factor, sizeof(scale_bits));
+    mix(h, scale_bits);
+    return h;
+}
+
+// -------------------------------------------------------------- engine
+
+SweepEngine::SweepEngine(unsigned jobs, const std::string &cache_dir)
+    : numJobs(jobs ? jobs : defaultJobs()), cacheDir(cache_dir)
+{
+    if (!cacheDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(cacheDir, ec);
+        if (ec) {
+            warn("cannot create VPIR_RESULT_CACHE dir '" + cacheDir +
+                 "': " + ec.message() + "; disk cache disabled");
+            cacheDir.clear();
+        }
+    }
+}
+
+SweepEngine::~SweepEngine()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        shuttingDown = true;
+    }
+    workAvailable.notify_all();
+    for (std::thread &t : workers)
+        t.join();
+}
+
+void
+SweepEngine::startWorkers()
+{
+    // Called with mu held, only in threaded mode.
+    if (!workers.empty() || numJobs <= 1)
+        return;
+    workers.reserve(numJobs);
+    for (unsigned i = 0; i < numJobs; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+SweepEngine::Record *
+SweepEngine::findOrCreate(const SweepCell &cell)
+{
+    uint64_t key = cellHash(cell);
+    auto it = cells.find(key);
+    if (it != cells.end())
+        return it->second.get();
+
+    auto rec = std::make_unique<Record>();
+    rec->cell = cell;
+    rec->key = key;
+    Record *raw = rec.get();
+    cells.emplace(key, std::move(rec));
+    submissionOrder.push_back(raw);
+    queue.push_back(raw);
+    ++pending;
+    if (numJobs > 1) {
+        startWorkers();
+        workAvailable.notify_one();
+    }
+    return raw;
+}
+
+void
+SweepEngine::prefetch(const SweepCell &cell)
+{
+    std::lock_guard<std::mutex> lk(mu);
+    findOrCreate(cell);
+}
+
+void
+SweepEngine::workerLoop()
+{
+    std::unique_lock<std::mutex> lk(mu);
+    for (;;) {
+        workAvailable.wait(
+            lk, [&] { return shuttingDown || !queue.empty(); });
+        if (shuttingDown)
+            return;
+        Record *r = queue.front();
+        queue.pop_front();
+        r->running = true;
+        lk.unlock();
+        runRecord(*r);
+        lk.lock();
+        r->running = false;
+        r->done = true;
+        --pending;
+        cellFinished.notify_all();
+    }
+}
+
+void
+SweepEngine::drain()
+{
+    auto t0 = std::chrono::steady_clock::now();
+    std::unique_lock<std::mutex> lk(mu);
+    if (numJobs <= 1) {
+        while (!queue.empty()) {
+            Record *r = queue.front();
+            queue.pop_front();
+            r->running = true;
+            lk.unlock();
+            runRecord(*r);
+            lk.lock();
+            r->running = false;
+            r->done = true;
+            --pending;
+        }
+    } else {
+        cellFinished.wait(lk, [&] { return pending == 0; });
+    }
+    drainSeconds += secondsSince(t0);
+}
+
+const CoreStats &
+SweepEngine::get(const SweepCell &cell)
+{
+    std::unique_lock<std::mutex> lk(mu);
+    Record *r = findOrCreate(cell);
+    if (r->done)
+        return r->stats;
+
+    auto t0 = std::chrono::steady_clock::now();
+    if (numJobs <= 1) {
+        // Inline mode: run the requested cell now (FIFO position is
+        // irrelevant — every cell eventually runs exactly once).
+        for (auto it = queue.begin(); it != queue.end(); ++it) {
+            if (*it == r) {
+                queue.erase(it);
+                break;
+            }
+        }
+        r->running = true;
+        lk.unlock();
+        runRecord(*r);
+        lk.lock();
+        r->running = false;
+        r->done = true;
+        --pending;
+    } else {
+        cellFinished.wait(lk, [&] { return r->done; });
+    }
+    drainSeconds += secondsSince(t0);
+    return r->stats;
+}
+
+void
+SweepEngine::runRecord(Record &rec)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    if (!cacheDir.empty() && tryLoadFromDisk(rec)) {
+        rec.fromDiskCache = true;
+        rec.wallSeconds = secondsSince(t0);
+        return;
+    }
+    Workload w = makeWorkload(rec.cell.workload, rec.cell.scale);
+    rec.workloadInput = w.input;
+    Simulator sim(rec.cell.params, std::move(w.program));
+    rec.stats = sim.run();
+    rec.wallSeconds = secondsSince(t0);
+    if (!cacheDir.empty())
+        saveToDisk(rec);
+}
+
+// ---------------------------------------------------------- disk cache
+
+std::string
+SweepEngine::diskPath(const Record &rec) const
+{
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016" PRIx64, rec.key);
+    return cacheDir + "/" + rec.cell.workload + "-" + hex + ".json";
+}
+
+bool
+SweepEngine::tryLoadFromDisk(Record &rec)
+{
+    std::ifstream in(diskPath(rec));
+    if (!in)
+        return false;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string text = ss.str();
+
+    // Validate the key: a file that does not carry the exact cell
+    // hash (e.g. written by an incompatible version) is ignored.
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016" PRIx64, rec.key);
+    if (text.find(std::string("\"cell_hash\": \"") + hex + "\"") ==
+        std::string::npos)
+        return false;
+
+    size_t spos = text.find("\"stats\":");
+    if (spos == std::string::npos)
+        return false;
+    if (!statsFromJson(text.substr(spos), rec.stats))
+        return false;
+
+    size_t ipos = text.find("\"input\": \"");
+    if (ipos != std::string::npos) {
+        ipos += std::strlen("\"input\": \"");
+        size_t end = text.find('"', ipos);
+        if (end != std::string::npos)
+            rec.workloadInput = text.substr(ipos, end - ipos);
+    }
+    return true;
+}
+
+void
+SweepEngine::saveToDisk(const Record &rec)
+{
+    std::string path = diskPath(rec);
+    std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<unsigned>(getpid()));
+    {
+        std::ofstream out(tmp);
+        if (!out) {
+            warn("cannot write result cache file " + tmp);
+            return;
+        }
+        char hex[17], phex[17];
+        std::snprintf(hex, sizeof(hex), "%016" PRIx64, rec.key);
+        std::snprintf(phex, sizeof(phex), "%016" PRIx64,
+                      hashParams(rec.cell.params));
+        out << "{\n"
+            << "  \"schema\": 1,\n"
+            << "  \"workload\": \"" << rec.cell.workload << "\",\n"
+            << "  \"label\": \"" << rec.cell.label << "\",\n"
+            << "  \"input\": \"" << rec.workloadInput << "\",\n"
+            << "  \"cell_hash\": \"" << hex << "\",\n"
+            << "  \"params_hash\": \"" << phex << "\",\n"
+            << "  \"max_insts\": " << rec.cell.params.maxInsts << ",\n"
+            << "  \"scale\": " << rec.cell.scale.factor << ",\n"
+            << "  \"stats\": " << statsToJson(rec.stats) << "\n"
+            << "}\n";
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        warn("cannot publish result cache file " + path + ": " +
+             ec.message());
+        std::filesystem::remove(tmp, ec);
+    }
+}
+
+// ------------------------------------------------------- observability
+
+std::vector<CellTiming>
+SweepEngine::timings() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    std::vector<CellTiming> out;
+    out.reserve(submissionOrder.size());
+    for (const Record *r : submissionOrder) {
+        if (!r->done)
+            continue;
+        CellTiming t;
+        t.workload = r->cell.workload;
+        t.label = r->cell.label;
+        t.paramsHash = hashParams(r->cell.params);
+        t.wallSeconds = r->wallSeconds;
+        t.committedInsts = r->stats.committedInsts;
+        t.fromDiskCache = r->fromDiskCache;
+        out.push_back(std::move(t));
+    }
+    return out;
+}
+
+double
+SweepEngine::sweepWallSeconds() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return drainSeconds;
+}
+
+size_t
+SweepEngine::cellsComputed() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    size_t n = 0;
+    for (const Record *r : submissionOrder)
+        if (r->done && !r->fromDiskCache)
+            ++n;
+    return n;
+}
+
+size_t
+SweepEngine::cellsFromDiskCache() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    size_t n = 0;
+    for (const Record *r : submissionOrder)
+        if (r->done && r->fromDiskCache)
+            ++n;
+    return n;
+}
+
+bool
+SweepEngine::writeTimingJson(const std::string &path) const
+{
+    std::vector<CellTiming> ts = timings();
+    double wall = sweepWallSeconds();
+    double cpu = 0.0;
+    uint64_t insts = 0;
+    size_t disk_hits = 0;
+    for (const CellTiming &t : ts) {
+        cpu += t.wallSeconds;
+        insts += t.committedInsts;
+        if (t.fromDiskCache)
+            ++disk_hits;
+    }
+
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    char buf[256];
+    out << "{\n  \"jobs\": " << numJobs << ",\n";
+    std::snprintf(buf, sizeof(buf),
+                  "  \"aggregate\": {\"cells\": %zu, "
+                  "\"disk_cache_hits\": %zu, \"wall_s\": %.6f, "
+                  "\"cpu_s\": %.6f, \"insts\": %" PRIu64
+                  ", \"mips\": %.3f},\n",
+                  ts.size(), disk_hits, wall, cpu, insts,
+                  wall > 0.0 ? static_cast<double>(insts) / wall / 1e6
+                             : 0.0);
+    out << buf << "  \"cells\": [\n";
+    for (size_t i = 0; i < ts.size(); ++i) {
+        const CellTiming &t = ts[i];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"workload\": \"%s\", \"label\": \"%s\", "
+                      "\"params_hash\": \"%016" PRIx64
+                      "\", \"wall_s\": %.6f, \"insts\": %" PRIu64
+                      ", \"mips\": %.3f, \"disk_cache\": %s}%s\n",
+                      t.workload.c_str(), t.label.c_str(), t.paramsHash,
+                      t.wallSeconds, t.committedInsts, t.mips(),
+                      t.fromDiskCache ? "true" : "false",
+                      i + 1 < ts.size() ? "," : "");
+        out << buf;
+    }
+    out << "  ]\n}\n";
+    return out.good();
+}
+
+void
+SweepEngine::printSummary(std::FILE *out) const
+{
+    std::vector<CellTiming> ts = timings();
+    double wall = sweepWallSeconds();
+    double cpu = 0.0;
+    uint64_t insts = 0;
+    size_t disk_hits = 0;
+    for (const CellTiming &t : ts) {
+        cpu += t.wallSeconds;
+        insts += t.committedInsts;
+        if (t.fromDiskCache)
+            ++disk_hits;
+    }
+    std::fprintf(
+        out,
+        "[sweep] %zu cells (%zu from disk cache), jobs=%u: "
+        "wall %.2fs, cpu %.2fs, %.2fM insts simulated, "
+        "aggregate %.2f MIPS\n",
+        ts.size(), disk_hits, numJobs, wall, cpu,
+        static_cast<double>(insts) / 1e6,
+        wall > 0.0 ? static_cast<double>(insts) / wall / 1e6 : 0.0);
+    if (std::getenv("VPIR_TIMING_VERBOSE")) {
+        for (const CellTiming &t : ts) {
+            std::fprintf(out,
+                         "[sweep]   %-10s %-18s %8.3fs %8.2f MIPS%s\n",
+                         t.workload.c_str(), t.label.c_str(),
+                         t.wallSeconds, t.mips(),
+                         t.fromDiskCache ? " (disk cache)" : "");
+        }
+    }
+}
+
+SweepEngine &
+SweepEngine::global()
+{
+    static SweepEngine engine;
+    return engine;
+}
+
+const std::string &
+cellWorkloadInput(SweepEngine &eng, const SweepCell &cell)
+{
+    eng.get(cell);
+    std::lock_guard<std::mutex> lk(eng.mu);
+    return eng.cells.at(cellHash(cell))->workloadInput;
+}
+
+// --------------------------------------------------------- parallelFor
+
+void
+parallelFor(size_t n, const std::function<void(size_t)> &body,
+            unsigned jobs)
+{
+    unsigned j = jobs ? jobs : defaultJobs();
+    if (j <= 1 || n <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+    std::atomic<size_t> next{0};
+    unsigned nthreads = static_cast<unsigned>(
+        std::min<size_t>(j, n));
+    std::vector<std::thread> threads;
+    threads.reserve(nthreads);
+    for (unsigned t = 0; t < nthreads; ++t) {
+        threads.emplace_back([&] {
+            for (;;) {
+                size_t i = next.fetch_add(1);
+                if (i >= n)
+                    return;
+                body(i);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+}
+
+} // namespace sweep
+} // namespace vpir

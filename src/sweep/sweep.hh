@@ -1,0 +1,202 @@
+/**
+ * @file
+ * SweepEngine: parallel execution of independent (workload, config)
+ * simulation cells for full-table experiment runs.
+ *
+ * Every paper table/figure is a sweep of independent simulations;
+ * each Simulator owns its core and workload with no shared mutable
+ * state, so cells are embarrassingly parallel. The engine provides:
+ *
+ *  - a fixed-size std::thread pool with a FIFO work queue
+ *    (VPIR_JOBS, default hardware_concurrency; 1 = run inline);
+ *  - a thread-safe memoized result cache keyed by a stable hash of
+ *    the *full* CoreParams plus workload and scale — two configs
+ *    sharing a display label can never alias (the bench_util.hh
+ *    stale-cache fix);
+ *  - deterministic results independent of completion order: callers
+ *    read results back by key in their own (program) order, so table
+ *    output is byte-identical for any job count;
+ *  - an optional on-disk JSON result cache (VPIR_RESULT_CACHE=<dir>)
+ *    keyed by the same hash, so re-running a bench after an unrelated
+ *    edit skips recomputation;
+ *  - per-cell and aggregate wall-time / simulated-MIPS records,
+ *    exportable as machine-readable bench_timing.json.
+ */
+
+#ifndef VPIR_SWEEP_SWEEP_HH
+#define VPIR_SWEEP_SWEEP_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/core_stats.hh"
+#include "core/params.hh"
+#include "workload/workload.hh"
+
+namespace vpir
+{
+namespace sweep
+{
+
+/** VPIR_JOBS, or hardware_concurrency when unset/invalid. */
+unsigned defaultJobs();
+
+/** VPIR_RESULT_CACHE directory ("" = disk cache disabled). */
+std::string defaultCacheDir();
+
+/**
+ * Stable FNV-1a hash over every CoreParams field (machine geometry,
+ * caches, predictor, technique knobs, run limits). Stable across
+ * processes — safe as an on-disk cache key.
+ */
+uint64_t hashParams(const CoreParams &p);
+
+/** One schedulable simulation: workload x configuration. */
+struct SweepCell
+{
+    std::string workload;
+    std::string label;   //!< display-only; not part of the cache key
+    CoreParams params;
+    WorkloadScale scale;
+};
+
+/** Full cache key: workload + params-hash + scale. */
+uint64_t cellHash(const SweepCell &cell);
+
+/** Timing/observability record for one executed cell. */
+struct CellTiming
+{
+    std::string workload;
+    std::string label;
+    uint64_t paramsHash = 0;
+    double wallSeconds = 0.0;
+    uint64_t committedInsts = 0;
+    bool fromDiskCache = false;
+
+    double
+    mips() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(committedInsts) / wallSeconds /
+                         1e6
+                   : 0.0;
+    }
+};
+
+/** The parallel sweep engine. */
+class SweepEngine
+{
+  public:
+    /**
+     * @param jobs worker threads; 0 = defaultJobs(); 1 = inline (no
+     *             threads spawned).
+     * @param cache_dir on-disk cache directory; "" disables. Defaults
+     *             to VPIR_RESULT_CACHE.
+     */
+    explicit SweepEngine(unsigned jobs = 0,
+                         const std::string &cache_dir = defaultCacheDir());
+    ~SweepEngine();
+
+    SweepEngine(const SweepEngine &) = delete;
+    SweepEngine &operator=(const SweepEngine &) = delete;
+
+    /** Schedule a cell (no-op if an identical cell is already known).
+     *  Returns without blocking; workers may start immediately. */
+    void prefetch(const SweepCell &cell);
+
+    /** Block until every prefetched cell has a result. */
+    void drain();
+
+    /**
+     * Memoized result lookup; schedules and waits as needed. The
+     * returned reference stays valid for the engine's lifetime.
+     */
+    const CoreStats &get(const SweepCell &cell);
+
+    /** Timing records in cell submission order. */
+    std::vector<CellTiming> timings() const;
+
+    /** Wall-clock seconds spent inside drain()/get() waits. */
+    double sweepWallSeconds() const;
+
+    unsigned jobs() const { return numJobs; }
+    size_t cellsComputed() const;
+    size_t cellsFromDiskCache() const;
+
+    /**
+     * Write the timing records plus aggregate wall-time and
+     * simulated-MIPS as machine-readable JSON. @return success.
+     */
+    bool writeTimingJson(const std::string &path) const;
+
+    /** Print a one-paragraph aggregate summary to @p out (stderr by
+     *  convention, keeping bench stdout byte-identical per job count). */
+    void printSummary(std::FILE *out) const;
+
+    /** Process-wide engine used by the bench Runner and vpirsim. */
+    static SweepEngine &global();
+
+  private:
+    struct Record
+    {
+        SweepCell cell;
+        uint64_t key = 0;
+        CoreStats stats;
+        std::string workloadInput; //!< Workload::input (for vpirsim)
+        double wallSeconds = 0.0;
+        bool fromDiskCache = false;
+        bool done = false;
+        bool running = false;
+    };
+
+    void runRecord(Record &rec); //!< compute (or disk-load) one cell
+    void workerLoop();
+    void startWorkers();
+    Record *findOrCreate(const SweepCell &cell); //!< locked by caller
+    bool tryLoadFromDisk(Record &rec);
+    void saveToDisk(const Record &rec);
+    std::string diskPath(const Record &rec) const;
+
+    unsigned numJobs;
+    std::string cacheDir;
+
+    mutable std::mutex mu;
+    std::condition_variable workAvailable;
+    std::condition_variable cellFinished;
+    std::unordered_map<uint64_t, std::unique_ptr<Record>> cells;
+    std::vector<Record *> submissionOrder;
+    std::deque<Record *> queue;
+    std::vector<std::thread> workers;
+    bool shuttingDown = false;
+    size_t pending = 0;      //!< queued or running cells
+    double drainSeconds = 0.0;
+
+    friend const std::string &cellWorkloadInput(SweepEngine &,
+                                                const SweepCell &);
+};
+
+/** Workload::input of a completed cell (runs it if needed). */
+const std::string &cellWorkloadInput(SweepEngine &eng,
+                                     const SweepCell &cell);
+
+/**
+ * Deterministic parallel-for over [0, n): body(i) runs on the pool's
+ * worker threads, but callers observe results via their own output
+ * slots indexed by i, so ordering is caller-controlled. Used by the
+ * analysis benches (fig8-10) that do not run the timing simulator.
+ */
+void parallelFor(size_t n, const std::function<void(size_t)> &body,
+                 unsigned jobs = 0);
+
+} // namespace sweep
+} // namespace vpir
+
+#endif // VPIR_SWEEP_SWEEP_HH

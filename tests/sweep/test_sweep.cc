@@ -1,0 +1,237 @@
+/**
+ * @file
+ * SweepEngine tests: parallel execution must be bit-identical to
+ * serial for every workload and technique, the cache key must depend
+ * on the full parameter set (not display labels), and the on-disk
+ * result cache must round-trip CoreStats losslessly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "sweep/stats_json.hh"
+#include "sweep/sweep.hh"
+
+using namespace vpir;
+using namespace vpir::sweep;
+
+namespace
+{
+
+/** Small but non-trivial run: exercises squashes, reuse, prediction. */
+constexpr uint64_t TEST_INSTS = 20000;
+
+SweepCell
+cell(const std::string &workload, const std::string &label,
+     const CoreParams &params)
+{
+    WorkloadScale scale;
+    scale.factor = 0.25;
+    return SweepCell{workload, label, withLimits(params, TEST_INSTS),
+                     scale};
+}
+
+std::vector<SweepCell>
+allCells()
+{
+    std::vector<SweepCell> cs;
+    for (const auto &name : workloadNames()) {
+        cs.push_back(cell(name, "base", baseConfig()));
+        cs.push_back(cell(name, "vp",
+                          vpConfig(VpScheme::Magic, ReexecPolicy::Multiple,
+                                   BranchResolution::Speculative, 0)));
+        cs.push_back(cell(name, "ir", irConfig()));
+    }
+    return cs;
+}
+
+/** Unique scratch directory under the test's working dir. */
+std::string
+scratchDir(const char *tag)
+{
+    std::string d = std::string("sweep_test_cache_") + tag;
+    std::filesystem::remove_all(d);
+    std::filesystem::create_directories(d);
+    return d;
+}
+
+TEST(SweepEngine, ParallelBitIdenticalToSerial)
+{
+    std::vector<SweepCell> cs = allCells();
+
+    SweepEngine serial(1, "");
+    SweepEngine parallel(4, "");
+    for (const SweepCell &c : cs)
+        parallel.prefetch(c);
+    parallel.drain();
+
+    for (const SweepCell &c : cs) {
+        const CoreStats &s = serial.get(c);
+        const CoreStats &p = parallel.get(c);
+        EXPECT_TRUE(statsEqual(s, p))
+            << c.workload << "/" << c.label
+            << " differs between serial and parallel runs";
+    }
+    EXPECT_EQ(parallel.cellsComputed(), cs.size());
+    EXPECT_EQ(parallel.cellsFromDiskCache(), 0u);
+}
+
+TEST(SweepEngine, MemoizesByParamsNotLabel)
+{
+    SweepEngine eng(1, "");
+
+    // Same params under two labels: one simulation, same record.
+    SweepCell a = cell("perl", "first", irConfig());
+    SweepCell b = cell("perl", "second", irConfig());
+    const CoreStats &ra = eng.get(a);
+    const CoreStats &rb = eng.get(b);
+    EXPECT_EQ(&ra, &rb);
+    EXPECT_EQ(eng.cellsComputed(), 1u);
+
+    // Same label, different params: distinct cells (the stale-cache
+    // collision the string-keyed bench Runner used to have).
+    CoreParams small = irConfig();
+    small.rb.entries = 16; // tiny buffer: measurably less reuse
+    SweepCell c = cell("perl", "first", small);
+    const CoreStats &rc = eng.get(c);
+    EXPECT_NE(&ra, &rc);
+    EXPECT_FALSE(statsEqual(ra, rc));
+    EXPECT_EQ(eng.cellsComputed(), 2u);
+}
+
+TEST(SweepEngine, HashCoversParamsWorkloadAndScale)
+{
+    CoreParams p = baseConfig();
+    CoreParams q = p;
+    q.rb.entries /= 2;
+    EXPECT_NE(hashParams(p), hashParams(q));
+    q = p;
+    q.vpVerifyLatency += 1;
+    EXPECT_NE(hashParams(p), hashParams(q));
+
+    SweepCell c1{"go", "x", p, WorkloadScale{1.0}};
+    SweepCell c2{"gcc", "x", p, WorkloadScale{1.0}};
+    SweepCell c3{"go", "x", p, WorkloadScale{0.5}};
+    SweepCell c4{"go", "other-label", p, WorkloadScale{1.0}};
+    EXPECT_NE(cellHash(c1), cellHash(c2));
+    EXPECT_NE(cellHash(c1), cellHash(c3));
+    EXPECT_EQ(cellHash(c1), cellHash(c4)); // label is display-only
+}
+
+TEST(SweepEngine, DiskCacheRoundTripsStatsLosslessly)
+{
+    std::string dir = scratchDir("roundtrip");
+    std::vector<SweepCell> cs = allCells();
+
+    CoreStats fresh[64];
+    size_t n = 0;
+    {
+        SweepEngine writer(2, dir);
+        for (const SweepCell &c : cs)
+            writer.prefetch(c);
+        writer.drain();
+        for (const SweepCell &c : cs)
+            fresh[n++] = writer.get(c);
+        EXPECT_EQ(writer.cellsFromDiskCache(), 0u);
+    }
+
+    SweepEngine reader(2, dir);
+    for (size_t i = 0; i < cs.size(); ++i) {
+        const CoreStats &cached = reader.get(cs[i]);
+        EXPECT_TRUE(statsEqual(fresh[i], cached))
+            << cs[i].workload << "/" << cs[i].label
+            << " corrupted by the disk cache round trip";
+    }
+    EXPECT_EQ(reader.cellsFromDiskCache(), cs.size());
+    EXPECT_EQ(reader.cellsComputed(), 0u);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SweepEngine, CorruptCacheFileFallsBackToRecompute)
+{
+    std::string dir = scratchDir("corrupt");
+    SweepCell c = cell("compress", "base", baseConfig());
+
+    CoreStats fresh;
+    {
+        SweepEngine writer(1, dir);
+        fresh = writer.get(c);
+    }
+    // Truncate every cache file in the directory.
+    for (const auto &ent : std::filesystem::directory_iterator(dir)) {
+        std::FILE *f = std::fopen(ent.path().c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fputs("{\"schema\":", f);
+        std::fclose(f);
+    }
+
+    SweepEngine reader(1, dir);
+    const CoreStats &recomputed = reader.get(c);
+    EXPECT_TRUE(statsEqual(fresh, recomputed));
+    EXPECT_EQ(reader.cellsFromDiskCache(), 0u);
+    EXPECT_EQ(reader.cellsComputed(), 1u);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SweepEngine, TimingRecordsFollowSubmissionOrder)
+{
+    SweepEngine eng(4, "");
+    std::vector<SweepCell> cs = allCells();
+    for (const SweepCell &c : cs)
+        eng.prefetch(c);
+    eng.drain();
+
+    std::vector<CellTiming> ts = eng.timings();
+    ASSERT_EQ(ts.size(), cs.size());
+    for (size_t i = 0; i < cs.size(); ++i) {
+        EXPECT_EQ(ts[i].workload, cs[i].workload);
+        EXPECT_EQ(ts[i].label, cs[i].label);
+        EXPECT_EQ(ts[i].paramsHash, hashParams(cs[i].params));
+        EXPECT_GT(ts[i].committedInsts, 0u);
+    }
+
+    std::string path = "sweep_test_timing.json";
+    EXPECT_TRUE(eng.writeTimingJson(path));
+    std::error_code ec;
+    EXPECT_GT(std::filesystem::file_size(path, ec), 0u);
+    std::filesystem::remove(path);
+}
+
+TEST(StatsJson, RoundTripAndRejection)
+{
+    SweepEngine eng(1, "");
+    CoreStats st = eng.get(cell("m88ksim", "vp",
+                                vpConfig(VpScheme::Magic,
+                                         ReexecPolicy::Multiple,
+                                         BranchResolution::Speculative,
+                                         1)));
+    std::string j = statsToJson(st);
+    CoreStats back;
+    ASSERT_TRUE(statsFromJson(j, back));
+    EXPECT_TRUE(statsEqual(st, back));
+
+    // A truncated document must be rejected, not half-filled.
+    CoreStats junk;
+    EXPECT_FALSE(statsFromJson(j.substr(0, j.size() / 2), junk));
+    EXPECT_FALSE(statsFromJson("{}", junk));
+}
+
+TEST(ParallelFor, CoversEveryIndexOnce)
+{
+    std::vector<std::atomic<int>> hits(257);
+    for (auto &h : hits)
+        h = 0;
+    parallelFor(hits.size(), [&](size_t i) { ++hits[i]; }, 4);
+    for (size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+} // anonymous namespace

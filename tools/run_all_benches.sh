@@ -1,0 +1,32 @@
+#!/bin/sh
+# Run every experiment harness in sequence, failing on the first
+# nonzero exit. Usage:
+#
+#   tools/run_all_benches.sh [build-dir]
+#
+# The usual knobs apply (VPIR_JOBS, VPIR_BENCH_INSTS, VPIR_BENCH_SCALE,
+# VPIR_RESULT_CACHE, VPIR_TIMING_JSON). Wired into ctest as the opt-in
+# "bench" configuration: ctest -C bench.
+set -eu
+
+BUILD=${1:-build}
+if [ ! -d "$BUILD/bench" ]; then
+    echo "run_all_benches: no bench binaries under '$BUILD'" >&2
+    echo "usage: $0 [build-dir]" >&2
+    exit 2
+fi
+
+BENCHES="bench_table1 bench_table2 bench_table3 bench_table4
+         bench_table5 bench_table6 bench_fig3 bench_fig4 bench_fig5
+         bench_fig6 bench_fig7 bench_fig8 bench_fig9 bench_fig10
+         bench_ablation bench_hybrid"
+
+for b in $BENCHES; do
+    echo "==== $b ===="
+    "$BUILD/bench/$b"
+done
+
+echo "==== bench_micro ===="
+"$BUILD/bench/bench_micro" --benchmark_min_time=0.01
+
+echo "run_all_benches: all harnesses completed"

@@ -16,13 +16,19 @@
  *     --warmup N            functional fast-forward instructions
  *     --scale F             workload scale factor (default 1.0)
  *     --stats               dump the full named statistics set
+ *
+ * Runs go through the sweep engine, so VPIR_RESULT_CACHE=<dir> makes
+ * repeated invocations with identical parameters instant. Host wall
+ * time and simulated MIPS are reported on stderr.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "sim/simulator.hh"
+#include "sweep/sweep.hh"
 
 using namespace vpir;
 
@@ -116,12 +122,17 @@ main(int argc, char **argv)
     params = withLimits(params, max_insts, max_cycles);
     params.warmupInsts = warmup;
 
-    Workload w = makeWorkload(workload, scale);
-    Simulator sim(params, std::move(w.program));
-    const CoreStats &st = sim.run();
+    sweep::SweepCell cell{workload, config, params, scale};
+    sweep::SweepEngine &eng = sweep::SweepEngine::global();
+    auto t0 = std::chrono::steady_clock::now();
+    const CoreStats &st = eng.get(cell);
+    double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    bool cached = eng.cellsFromDiskCache() > 0;
 
     std::printf("workload    %s (%s)\n", workload.c_str(),
-                w.input.c_str());
+                sweep::cellWorkloadInput(eng, cell).c_str());
     std::printf("config      %s\n", config.c_str());
     std::printf("cycles      %llu\n",
                 static_cast<unsigned long long>(st.cycles));
@@ -159,5 +170,12 @@ main(int argc, char **argv)
         st.exportTo(out);
         std::printf("\n%s", out.dump().c_str());
     }
+
+    std::fprintf(stderr, "[sweep] host wall %.3f s, %.2f simulated MIPS%s\n",
+                 wall,
+                 wall > 0.0
+                     ? static_cast<double>(st.committedInsts) / wall / 1e6
+                     : 0.0,
+                 cached ? " (from result cache)" : "");
     return 0;
 }
