@@ -110,5 +110,5 @@ main()
                 "capture is bounded\nby the 4 instances per "
                 "instruction, not capacity — supporting the paper's\n"
                 "equal-hardware sizing of the two structures.\n");
-    return 0;
+    return exitStatus();
 }

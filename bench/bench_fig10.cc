@@ -33,5 +33,5 @@ main()
                 "instructions in programs\nare amenable to reuse\" — "
                 "detecting redundancy non-speculatively from\n"
                 "operands does not significantly restrict IR.\n");
-    return 0;
+    return exitStatus();
 }

@@ -54,5 +54,5 @@ main()
                 "improvement is lost\nif the validation is deferred "
                 "to the execution stage\" (late/early < 0.5\nfor the "
                 "harmonic mean).\n");
-    return 0;
+    return exitStatus();
 }

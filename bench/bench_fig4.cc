@@ -92,5 +92,5 @@ main()
                 "verification the NSB reduction shrinks toward the\n"
                 "base; the reuse bars are identical in both halves "
                 "and among the lowest.\n");
-    return 0;
+    return exitStatus();
 }

@@ -69,5 +69,5 @@ main()
                 "instructions never occupy execution resources); "
                 "ME and NME are nearly\nidentical, as in the paper's "
                 "discussion of Table 6.\n");
-    return 0;
+    return exitStatus();
 }

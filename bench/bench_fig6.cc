@@ -99,5 +99,5 @@ main()
         "SB.\n"
         "  4. IR can match or beat VP on some benchmarks despite "
         "capturing less\n     redundancy.\n");
-    return 0;
+    return exitStatus();
 }

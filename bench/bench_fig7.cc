@@ -94,5 +94,5 @@ main()
         "misprediction rates\n     it pays to delay branch "
         "resolution.\n"
         "  3. 1-cycle verification lowers everything further.\n");
-    return 0;
+    return exitStatus();
 }

@@ -35,5 +35,5 @@ main()
                 "(80-90%%) repeated, few\n(<5%%) derivable; the "
                 "buffering cap (10K instances/static instruction)\n"
                 "leaves a small unaccounted remainder.\n");
-    return 0;
+    return exitStatus();
 }

@@ -36,5 +36,5 @@ main()
                 "producers within 50 instructions (inputs not "
                 "ready), contrary\nto the expectation that decode-"
                 "time operands are rarely available.\n");
-    return 0;
+    return exitStatus();
 }

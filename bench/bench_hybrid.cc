@@ -69,5 +69,5 @@ main()
     std::printf("reused instructions never re-execute or verify; "
                 "predictions cover the\noperand-test misses — the "
                 "combination the paper's section 5 anticipates.\n");
-    return 0;
+    return exitStatus();
 }

@@ -160,10 +160,14 @@ BM_PipelineSimulation(benchmark::State &state)
       default:
         cfg = baseConfig();
     }
+    // VPIR_CHECK=1 etc. apply here too, so the checker's overhead is
+    // directly measurable against the same benchmark without it.
+    CoreParams run_cfg = withLimits(cfg, 50000);
+    applyHardeningEnv(run_cfg);
     uint64_t insts = 0;
     for (auto _ : state) {
         state.PauseTiming();
-        Core core(withLimits(cfg, 50000), w.program);
+        Core core(run_cfg, w.program);
         state.ResumeTiming();
         const CoreStats &st = core.run();
         insts += st.committedInsts;

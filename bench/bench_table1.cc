@@ -89,5 +89,5 @@ main()
     t.addRow({"RB (IR runs)", "4K entries, 4-way, LRU",
               "4K entries, 4-way, LRU"});
     std::printf("%s\n", t.render().c_str());
-    return 0;
+    return exitStatus();
 }

@@ -39,5 +39,5 @@ main()
                 "fast-forward; this\nreproduction runs scaled-down "
                 "synthetic workloads (VPIR_BENCH_INSTS=%llu).\n",
                 static_cast<unsigned long long>(runner.instLimit()));
-    return 0;
+    return exitStatus();
 }

@@ -89,5 +89,5 @@ main()
                 "(all but compress\nin the paper); compress address "
                 "reuse is the outlier high value; VP_LVP\nrates sit "
                 "below VP_Magic with higher mispredictions.\n");
-    return 0;
+    return exitStatus();
 }

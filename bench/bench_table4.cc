@@ -81,5 +81,5 @@ main()
     std::printf("shape checks: VP_LVP causes a much larger increase "
                 "than VP_Magic (its\nvalue misprediction rate is "
                 "higher); NME trims the ME numbers slightly.\n");
-    return 0;
+    return exitStatus();
 }

@@ -43,5 +43,5 @@ main()
     std::printf("shape check: a significant share of squashed "
                 "executed work (paper: ~28-54%%)\nis recovered "
                 "through the reuse buffer.\n");
-    return 0;
+    return exitStatus();
 }

@@ -46,5 +46,5 @@ main()
     std::printf("shape check: very few instructions execute more "
                 "than twice, which is\nwhy restricting re-execution "
                 "(NME) barely changes performance.\n");
-    return 0;
+    return exitStatus();
 }

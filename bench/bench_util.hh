@@ -13,6 +13,9 @@
  *   VPIR_RESULT_CACHE   on-disk result cache directory (off if unset)
  *   VPIR_TIMING_JSON    timing report path (default bench_timing.json)
  *   VPIR_TIMING_VERBOSE per-cell lines in the stderr summary
+ *   VPIR_CHECK          =1: lockstep-verify every retired instruction
+ *   VPIR_WATCHDOG_CYCLES commit-progress watchdog limit
+ *   VPIR_FAULT_*        deterministic fault injection (see configs.hh)
  */
 
 #ifndef VPIR_BENCH_BENCH_UTIL_HH
@@ -84,13 +87,26 @@ class Runner
     cell(const std::string &workload, const std::string &label,
          const CoreParams &params) const
     {
-        return sweep::SweepCell{workload, label, withLimits(params, limit),
-                                scale};
+        CoreParams p = withLimits(params, limit);
+        applyHardeningEnv(p);
+        return sweep::SweepCell{workload, label, p, scale};
     }
 
     uint64_t limit;
     WorkloadScale scale;
 };
+
+/**
+ * Process exit status for a bench main(): 1 when any sweep cell
+ * failed (the failure details were printed by the Runner destructor's
+ * summary), 0 otherwise. Harnesses end with `return exitStatus();` so
+ * CI sees per-cell failures instead of a clean-looking table of zeros.
+ */
+inline int
+exitStatus()
+{
+    return sweep::SweepEngine::global().failures().empty() ? 0 : 1;
+}
 
 /**
  * Run the redundancy limit study (fig 8-10) over every workload on

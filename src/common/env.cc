@@ -1,0 +1,72 @@
+#include "common/env.hh"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace vpir
+{
+
+namespace
+{
+
+/** The full value must be consumed; stray characters mean the user
+ *  typed something the parser ignored (the "10m" failure mode). */
+bool
+fullyParsed(const char *s, const char *end)
+{
+    return end != s && *end == '\0';
+}
+
+} // anonymous namespace
+
+bool
+envSet(const char *name)
+{
+    return std::getenv(name) != nullptr;
+}
+
+uint64_t
+parseEnvU64(const char *name, uint64_t def)
+{
+    const char *s = std::getenv(name);
+    if (!s)
+        return def;
+    // strtoull silently accepts a leading '-' by wrapping; reject it.
+    const char *p = s;
+    while (*p == ' ' || *p == '\t')
+        ++p;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(p, &end, 10);
+    if (*p == '-' || !fullyParsed(p, end) || errno == ERANGE) {
+        warn(std::string(name) + "='" + s +
+             "' is not a valid unsigned integer; using default " +
+             std::to_string(def));
+        return def;
+    }
+    return static_cast<uint64_t>(v);
+}
+
+double
+parseEnvF64(const char *name, double def)
+{
+    const char *s = std::getenv(name);
+    if (!s)
+        return def;
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(s, &end);
+    if (!fullyParsed(s, end) || errno == ERANGE || !std::isfinite(v)) {
+        warn(std::string(name) + "='" + s +
+             "' is not a valid number; using default " +
+             std::to_string(def));
+        return def;
+    }
+    return v;
+}
+
+} // namespace vpir

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Strict environment-variable parsing.
+ *
+ * The bench knobs used to be read with strtoull/strtod and a null
+ * endptr, so a typo like VPIR_BENCH_INSTS=10m silently ran zero
+ * instructions. These helpers accept only a complete, well-formed
+ * number; anything else (trailing garbage, empty string, overflow)
+ * warns once and falls back to the caller's default.
+ */
+
+#ifndef VPIR_COMMON_ENV_HH
+#define VPIR_COMMON_ENV_HH
+
+#include <cstdint>
+
+namespace vpir
+{
+
+/** Read an unsigned integer env var; warn and return @p def when the
+ *  variable is set but not a complete non-negative decimal number. */
+uint64_t parseEnvU64(const char *name, uint64_t def);
+
+/** Read a floating-point env var; warn and return @p def when the
+ *  variable is set but not a complete finite number. */
+double parseEnvF64(const char *name, double def);
+
+/** Whether the env var is set (any value, including empty). */
+bool envSet(const char *name);
+
+} // namespace vpir
+
+#endif // VPIR_COMMON_ENV_HH

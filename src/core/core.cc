@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <map>
 #include <mutex>
+#include <sstream>
 
 #include "common/logging.hh"
 #include "isa/disasm.hh"
@@ -22,9 +23,12 @@ Core::Core(const CoreParams &p, const Program &program)
       vptResult(p.vpt),
       vptAddr(p.vpt),
       rb(p.rb),
+      injector(p.faults),
       rob(p.robEntries),
       fetchPC(program.entry)
 {
+    if (p.checkRetire)
+        checker = std::make_unique<LockstepChecker>(program, p.warmupInsts);
     Emulator::loadProgram(program, state);
     for (auto &r : regProducer)
         r = RobRef{};
@@ -211,6 +215,14 @@ Core::tryDispatchPredict(int slot)
     if (params.vpPredictResults && producesResult(e.inst) &&
         !e.isSt && e.inst.rd != REG_INVALID) {
         e.madePred = vptResult.predict(e.pc, e.exec.out.result);
+        // Injected VPT faults: corrupt the predicted value and/or flip
+        // the confidence gate. Both must be absorbed by the normal
+        // late-validation path (squash + re-execute), never escaping
+        // to architectural state.
+        if (e.madePred.valid && injector.fireVptValue())
+            e.madePred.value = injector.corrupt(e.madePred.value);
+        if (injector.fireVptConf())
+            e.madePred.valid = !e.madePred.valid;
         if (e.madePred.valid) {
             e.predicted = true;
             e.predValue = e.madePred.value;
@@ -219,8 +231,15 @@ Core::tryDispatchPredict(int slot)
             e.readyTime = curCycle;
         }
     }
-    if (params.vpPredictAddresses && (e.isLd || e.isSt)) {
+    // Hybrid: a load that already reused its address carries a
+    // *validated* address; overwriting it with a VPT guess would both
+    // degrade it to a speculation and (before the addr-stale re-issue
+    // existed) silently time the cache access at the wrong line.
+    if (params.vpPredictAddresses && (e.isLd || e.isSt) &&
+        !e.addrReused) {
         e.madeAddrPred = vptAddr.predict(e.pc, e.exec.out.memAddr);
+        if (e.madeAddrPred.valid && injector.fireVptValue())
+            e.madeAddrPred.value = injector.corrupt(e.madeAddrPred.value);
         if (e.madeAddrPred.valid) {
             e.addrPredicted = true;
             e.addrPredValue = e.madeAddrPred.value;
@@ -276,7 +295,10 @@ Core::tryDispatchReuse(int slot)
     if (e.isLd && result_ok) {
         // Precision check standing in for exact invalidation: the
         // stored value must still be what memory holds for this path.
-        if (hit.memValue != e.exec.out.result)
+        // With the oracle cross-check disabled the core trusts the
+        // RB's own address-range invalidation, like real hardware; an
+        // escape is then the retire checker's to catch.
+        if (params.irOracleCheck && hit.memValue != e.exec.out.result)
             result_ok = false;
         // Non-speculative gate: all older stores must have known,
         // non-overlapping addresses (Table 1's conservative loads).
@@ -341,15 +363,19 @@ Core::tryDispatchReuse(int slot)
         if (hit.recoveredSquashedWork)
             ++st.squashedRecovered;
         rb.noteReused(hit, e.inst);
-        VPIR_ASSERT(!producesResult(e.inst) ||
-                        e.curResult == e.exec.out.result,
-                    "reuse delivered a wrong value");
+        if (params.irOracleCheck) {
+            VPIR_ASSERT(!producesResult(e.inst) ||
+                            e.curResult == e.exec.out.result,
+                        "reuse delivered a wrong value");
+        }
         return;
     }
 
     if (hit.addrReused && (e.isLd || e.isSt)) {
-        VPIR_ASSERT(hit.memAddr == e.exec.out.memAddr,
-                    "address reuse delivered a wrong address");
+        if (params.irOracleCheck) {
+            VPIR_ASSERT(hit.memAddr == e.exec.out.memAddr,
+                        "address reuse delivered a wrong address");
+        }
         e.addrReused = true;
         e.curMemAddr = hit.memAddr;
         e.memAddrKnown = true;
@@ -625,9 +651,15 @@ Core::issueStage()
         } else {
             bool changed = v[0].value != e.usedVals[0] ||
                            v[1].value != e.usedVals[1];
-            if (!changed)
+            // An address-speculative load can have accessed the wrong
+            // location with operand values that coincidentally equal
+            // the oracle ones; the value test alone would never
+            // re-issue it. Redo the access once real operands arrive.
+            bool addr_stale = e.isLd && all_avail &&
+                              e.curMemAddr != e.exec.out.memAddr;
+            if (!changed && !addr_stale)
                 continue;
-            if (params.reexec == ReexecPolicy::Multiple) {
+            if (params.reexec == ReexecPolicy::Multiple || addr_stale) {
                 wants = true; // ME: re-execute on any new value
             } else {
                 // NME: re-execute once, after operands are final.
@@ -704,7 +736,12 @@ Core::completeEntry(int slot)
         e.storeAddrReady = true;
         if (params.technique == Technique::IR ||
             params.technique == Technique::Hybrid) {
-            rb.storeInvalidate(e.curMemAddr, e.memSz);
+            // Injected fault: a dropped invalidation leaves stale
+            // load values in the RB. With the oracle cross-check on,
+            // the dispatch precision check refuses the stale hit;
+            // with it off, an escape is the retire checker's to catch.
+            if (!injector.fireRbDropInv())
+                rb.storeInvalidate(e.curMemAddr, e.memSz);
         }
     }
 
@@ -762,6 +799,13 @@ Core::finalizeScan()
             e.usedVals[1] != e.exec.srcVals[1]) {
             return true;
         }
+
+        // A load whose last access used a mispredicted address read
+        // the wrong location even if the (stale) operand values
+        // happened to match the oracle ones; hold it for the
+        // addr-stale re-issue instead of finalizing wrong data.
+        if (e.isLd && e.curMemAddr != e.exec.out.memAddr)
+            return true;
 
         e.finalized = true;
         e.finalizeAt = curCycle + (e.predicted ? params.vpVerifyLatency
@@ -920,6 +964,25 @@ Core::insertIntoRb(int slot)
     info.memAddr = e.exec.out.memAddr;
     info.memValue = e.isLd ? e.exec.out.result : 0;
 
+    // Injected RB faults. A corrupt result is handed straight to
+    // dependants by any later matching probe (the reuse test validates
+    // operands, not results). A corrupt operand value mis-fires more
+    // rarely — only when a future probe's live operand equals the
+    // corrupted value, which a single flipped low bit makes realistic
+    // for counters — and then delivers a result from the wrong operand
+    // context. Control outcomes are left intact so corruption surfaces
+    // as a wrong committed value, not a wrong-path walk.
+    if (injector.fireRbOperand()) {
+        int k = static_cast<int>(injector.pick(2));
+        if (info.srcReg[k] != REG_INVALID)
+            info.srcVal[k] = injector.corrupt(info.srcVal[k]);
+    }
+    if (injector.fireRbResult()) {
+        info.result = injector.corrupt(info.result);
+        if (e.isLd)
+            info.memValue = injector.corrupt(info.memValue);
+    }
+
     RbRef ref = rb.insert(info);
 
     // Dependence pointers: exact program-order producers resolved
@@ -933,6 +996,11 @@ Core::insertIntoRb(int slot)
                 links[k] = pe.rbEntry;
         }
     }
+    // Injected fault: a corrupt dependence pointer. Dropping the link
+    // severs the chain, which can only reduce S_{n+d} reuse — the
+    // safe failure mode early validation is supposed to guarantee.
+    if (injector.fireRbLink())
+        links[injector.pick(2)] = RbRef{};
     rb.linkSources(ref, links);
 
     e.rbEntry = ref;
@@ -1081,10 +1149,15 @@ Core::commitStage()
                 break; // resolution pending; cannot commit yet
             }
         }
-        VPIR_ASSERT(!e.isCtrl || e.followedNextPC == e.exec.out.nextPC,
-                    "committing a control instruction on a wrong path");
+        if (params.irOracleCheck) {
+            VPIR_ASSERT(!e.isCtrl ||
+                            e.followedNextPC == e.exec.out.nextPC,
+                        "committing a control instruction on a wrong path");
+        }
 
         if (e.isHalt) {
+            if (checker)
+                checkRetired(e);
             done = true;
             st.haltedCleanly = true;
             ++st.committedInsts;
@@ -1105,6 +1178,8 @@ Core::commitStage()
             dcache.access(e.curMemAddr);
         }
 
+        if (checker)
+            checkRetired(e);
         recordCommitStats(e);
         state.retire(e.postMark);
 
@@ -1131,6 +1206,70 @@ Core::commitStage()
     }
 }
 
+// --------------------------------------------------------- hardening
+
+void
+Core::checkRetired(const RobEntry &e)
+{
+    Retired r;
+    r.seq = e.seq;
+    r.cycle = curCycle;
+    r.pc = e.pc;
+    r.inst = e.inst;
+    r.result = e.curResult;
+    r.result2 = e.curResult2;
+    r.nextPC = e.isCtrl ? e.curNextPC : e.pc + 4;
+    r.memAddr = e.curMemAddr;
+    // The timing model carries no separate store-data value; pass the
+    // dispatch-time one so the checker still validates the replayed
+    // store semantics against the original functional execution.
+    r.storeValue = e.exec.out.storeValue;
+    checker->onRetire(r);
+}
+
+void
+Core::watchdogDump()
+{
+    std::ostringstream os;
+    os << "watchdog: no instruction committed for "
+       << (curCycle - lastCommitCycle) << " cycles (limit "
+       << params.watchdogCycles << ")\n"
+       << "  cycle " << curCycle << ", committed " << st.committedInsts
+       << ", fetchPC 0x" << std::hex << fetchPC << std::dec
+       << (fetchHalted ? " (fetch halted)" : "") << ", fetchQueue "
+       << fetchQueue.size() << ", rob " << robUsed << "/"
+       << params.robEntries << ", lsq " << lsq.size() << "\n";
+    forEachInOrder([&](int slot) {
+        const RobEntry &e = at(slot);
+        os << "  [" << slot << "] seq " << e.seq << " pc 0x" << std::hex
+           << e.pc << std::dec << " " << disassemble(e.inst)
+           << (e.finalized ? " finalized" : "")
+           << (e.inFlight ? " in-flight" : "")
+           << (e.executedOnce ? "" : " never-executed")
+           << (e.needsExec ? "" : " no-exec")
+           << (e.hasValue ? "" : " no-value");
+        if (e.isCtrl) {
+            os << (e.finalActionDone ? " resolved" : " unresolved");
+        }
+        if (e.executedOnce) {
+            os << " exec=" << e.execCount;
+            os << std::hex << " used=[0x" << e.usedVals[0] << ",0x"
+               << e.usedVals[1] << "] oracle=[0x" << e.exec.srcVals[0]
+               << ",0x" << e.exec.srcVals[1] << "]";
+            if (e.isLd || e.isSt) {
+                os << " addr=0x" << e.curMemAddr << "/0x"
+                   << e.exec.out.memAddr
+                   << (e.addrPredicted ? " addr-pred" : "")
+                   << (e.addrReused ? " addr-reused" : "");
+            }
+            os << std::dec;
+        }
+        os << "\n";
+        return true;
+    });
+    panic(os.str());
+}
+
 // ---------------------------------------------------------------- run
 
 bool
@@ -1148,6 +1287,14 @@ Core::cycle()
         dispatchStage();
         fetchStage();
     }
+    if (params.watchdogCycles && !done) {
+        if (st.committedInsts != lastCommitInsts) {
+            lastCommitInsts = st.committedInsts;
+            lastCommitCycle = curCycle;
+        } else if (curCycle - lastCommitCycle >= params.watchdogCycles) {
+            watchdogDump();
+        }
+    }
     ++curCycle;
     ++st.cycles;
     if (st.cycles >= params.maxCycles)
@@ -1164,6 +1311,15 @@ Core::run()
     st.icacheMisses = icache.misses();
     st.dcacheAccesses = dcache.accesses();
     st.dcacheMisses = dcache.misses();
+    if (checker)
+        st.checkedInsts = checker->checkedInsts();
+    const FaultCounts &fc = injector.counts();
+    st.faultsVptValue = fc.vptValue;
+    st.faultsVptConf = fc.vptConf;
+    st.faultsRbOperand = fc.rbOperand;
+    st.faultsRbResult = fc.rbResult;
+    st.faultsRbLink = fc.rbLink;
+    st.faultsRbDropInv = fc.rbDropInv;
     return st;
 }
 

@@ -21,9 +21,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "bpred/bpred.hh"
+#include "check/checker.hh"
+#include "check/fault.hh"
 #include "core/core_stats.hh"
 #include "core/fu_pool.hh"
 #include "core/params.hh"
@@ -172,6 +175,8 @@ class Core
 
     const CoreStats &stats() const { return st; }
     uint64_t now() const { return curCycle; }
+    /** Highest dynamic sequence number handed out so far. */
+    uint64_t seqAllocated() const { return nextSeq - 1; }
     EmuState &emuState() { return state; }
 
   private:
@@ -238,6 +243,8 @@ class Core
     void insertIntoRb(int slot);
     void recordCommitStats(RobEntry &e);
     void trainPredictors(RobEntry &e);
+    void checkRetired(const RobEntry &e);
+    [[noreturn]] void watchdogDump();
 
     // --- configuration / substrate ----------------------------------
     CoreParams params;
@@ -251,6 +258,8 @@ class Core
     Vpt vptAddr;
     ReuseBuffer rb;
     FuPool fus;
+    FaultInjector injector;
+    std::unique_ptr<LockstepChecker> checker;
 
     // --- machine state ----------------------------------------------
     /** DecodeInfo per static instruction, built once at construction
@@ -275,6 +284,10 @@ class Core
     uint64_t nextSeq = 1;
     unsigned dcachePortsUsed = 0; //!< this cycle
     bool done = false;
+
+    // Watchdog progress tracking.
+    uint64_t lastCommitCycle = 0;
+    uint64_t lastCommitInsts = 0;
 
     CoreStats st;
 };

@@ -58,6 +58,13 @@ CoreStats::exportTo(StatSet &out) const
     out.set("icache_misses", static_cast<double>(icacheMisses));
     out.set("dcache_accesses", static_cast<double>(dcacheAccesses));
     out.set("dcache_misses", static_cast<double>(dcacheMisses));
+    out.set("checked_insts", static_cast<double>(checkedInsts));
+    out.set("faults_vpt_value", static_cast<double>(faultsVptValue));
+    out.set("faults_vpt_conf", static_cast<double>(faultsVptConf));
+    out.set("faults_rb_operand", static_cast<double>(faultsRbOperand));
+    out.set("faults_rb_result", static_cast<double>(faultsRbResult));
+    out.set("faults_rb_link", static_cast<double>(faultsRbLink));
+    out.set("faults_rb_dropinv", static_cast<double>(faultsRbDropInv));
     out.set("halted_cleanly", haltedCleanly ? 1.0 : 0.0);
 }
 

@@ -82,6 +82,18 @@ struct CoreStats
     uint64_t dcacheAccesses = 0;
     uint64_t dcacheMisses = 0;
 
+    /** Hardening: retired instructions cross-validated by the
+     *  lockstep checker (0 when the checker is off). */
+    uint64_t checkedInsts = 0;
+
+    /** Hardening: injected faults by site (see FaultPlan). */
+    uint64_t faultsVptValue = 0;
+    uint64_t faultsVptConf = 0;
+    uint64_t faultsRbOperand = 0;
+    uint64_t faultsRbResult = 0;
+    uint64_t faultsRbLink = 0;
+    uint64_t faultsRbDropInv = 0;
+
     bool haltedCleanly = false;
 
     double ipc() const

@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "bpred/bpred.hh"
+#include "check/fault.hh"
 #include "mem/cache.hh"
 #include "reuse/reuse_buffer.hh"
 #include "vp/vpt.hh"
@@ -89,6 +90,25 @@ struct CoreParams
     /** Functional fast-forward before timing starts (the paper skips
      *  1-2.5B instructions this way, §4.1.5). */
     uint64_t warmupInsts = 0;
+
+    // Hardening / self-verification knobs.
+
+    /** Replay every retired instruction on an independent functional
+     *  machine and panic on any architectural divergence. */
+    bool checkRetire = false;
+
+    /** Cross-check reuse-buffer hits against the oracle execution at
+     *  dispatch (a simulator self-test, not hardware). Turned off to
+     *  model hardware that trusts its RB, e.g. under fault injection
+     *  where escapes must instead be caught by the retire checker. */
+    bool irOracleCheck = true;
+
+    /** Panic with a pipeline dump if no instruction commits for this
+     *  many cycles (0 disables the watchdog). */
+    uint64_t watchdogCycles = 0;
+
+    /** Deterministic fault injection into VPT / reuse buffer. */
+    FaultPlan faults;
 };
 
 } // namespace vpir

@@ -1,5 +1,8 @@
 #include "sim/configs.hh"
 
+#include "check/fault.hh"
+#include "common/env.hh"
+
 namespace vpir
 {
 
@@ -65,6 +68,17 @@ withLimits(CoreParams p, uint64_t max_insts, uint64_t max_cycles)
     p.maxInsts = max_insts;
     p.maxCycles = max_cycles;
     return p;
+}
+
+void
+applyHardeningEnv(CoreParams &p)
+{
+    p.checkRetire = parseEnvU64("VPIR_CHECK", p.checkRetire ? 1 : 0) != 0;
+    // Checked runs get a progress watchdog by default: a deadlocked
+    // pipeline would otherwise spin to maxCycles silently.
+    uint64_t wd_default = p.checkRetire ? 100000 : p.watchdogCycles;
+    p.watchdogCycles = parseEnvU64("VPIR_WATCHDOG_CYCLES", wd_default);
+    p.faults = faultPlanFromEnv(p.faults);
 }
 
 } // namespace vpir

@@ -46,6 +46,21 @@ std::string vpConfigLabel(ReexecPolicy reexec,
 CoreParams withLimits(CoreParams p, uint64_t max_insts,
                       uint64_t max_cycles = UINT64_MAX);
 
+/**
+ * Apply the hardening environment knobs to a configuration:
+ *
+ *   VPIR_CHECK=1             enable the lockstep retire checker
+ *   VPIR_WATCHDOG_CYCLES=N   commit-progress watchdog (default 100000
+ *                            when VPIR_CHECK is on, else off)
+ *   VPIR_FAULT_SEED / VPIR_FAULT_VPT_VALUE / VPIR_FAULT_VPT_CONF /
+ *   VPIR_FAULT_RB_OPERAND / VPIR_FAULT_RB_RESULT / VPIR_FAULT_RB_LINK
+ *   / VPIR_FAULT_RB_DROPINV  deterministic fault injection rates
+ *
+ * Called by the bench Runner and vpirsim on every cell's params, so
+ * any experiment can run self-verifying without a rebuild.
+ */
+void applyHardeningEnv(CoreParams &p);
+
 } // namespace vpir
 
 #endif // VPIR_SIM_CONFIGS_HH

@@ -1,6 +1,6 @@
 #include "sim/simulator.hh"
 
-#include <cstdlib>
+#include "common/env.hh"
 
 namespace vpir
 {
@@ -29,17 +29,16 @@ runWorkload(const std::string &name, const CoreParams &params,
 uint64_t
 benchInstLimit()
 {
-    if (const char *s = std::getenv("VPIR_BENCH_INSTS"))
-        return std::strtoull(s, nullptr, 10);
-    return 400000;
+    // Strict parsing: "10m" or "1e6" must not silently truncate to 10
+    // resp. 1 — a misparse here invalidates a whole table run.
+    return parseEnvU64("VPIR_BENCH_INSTS", 400000);
 }
 
 WorkloadScale
 benchScale()
 {
     WorkloadScale sc;
-    if (const char *s = std::getenv("VPIR_BENCH_SCALE"))
-        sc.factor = std::strtod(s, nullptr);
+    sc.factor = parseEnvF64("VPIR_BENCH_SCALE", sc.factor);
     return sc;
 }
 

@@ -66,6 +66,13 @@ forEachStatField(Stats &st, Fn &&fn)
     VPIR_STAT_FIELD(icacheMisses);
     VPIR_STAT_FIELD(dcacheAccesses);
     VPIR_STAT_FIELD(dcacheMisses);
+    VPIR_STAT_FIELD(checkedInsts);
+    VPIR_STAT_FIELD(faultsVptValue);
+    VPIR_STAT_FIELD(faultsVptConf);
+    VPIR_STAT_FIELD(faultsRbOperand);
+    VPIR_STAT_FIELD(faultsRbResult);
+    VPIR_STAT_FIELD(faultsRbLink);
+    VPIR_STAT_FIELD(faultsRbDropInv);
 #undef VPIR_STAT_FIELD
 }
 

@@ -12,6 +12,7 @@
 #include <sstream>
 #include <unistd.h>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "sim/simulator.hh"
 #include "sweep/stats_json.hh"
@@ -37,11 +38,11 @@ secondsSince(std::chrono::steady_clock::time_point t0)
 unsigned
 defaultJobs()
 {
-    if (const char *s = std::getenv("VPIR_JOBS")) {
-        long v = std::strtol(s, nullptr, 10);
+    if (envSet("VPIR_JOBS")) {
+        uint64_t v = parseEnvU64("VPIR_JOBS", 0);
         if (v >= 1)
             return static_cast<unsigned>(v);
-        warn("ignoring invalid VPIR_JOBS");
+        warn("ignoring VPIR_JOBS=0");
     }
     unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;
@@ -91,7 +92,7 @@ hashParams(const CoreParams &p)
     // must be mixed in: a skipped field is a latent stale-cache
     // collision. This guard fails to compile when CoreParams changes
     // size — update the field list below, then the constant.
-    static_assert(sizeof(CoreParams) == 160,
+    static_assert(sizeof(CoreParams) == 232,
                   "CoreParams changed: update hashParams()");
 
     uint64_t h = FNV_OFFSET;
@@ -127,6 +128,21 @@ hashParams(const CoreParams &p)
     mix(h, p.maxCycles);
     mix(h, p.maxInsts);
     mix(h, p.warmupInsts);
+    mix(h, p.checkRetire ? 1 : 0);
+    mix(h, p.irOracleCheck ? 1 : 0);
+    mix(h, p.watchdogCycles);
+    mix(h, p.faults.seed);
+    auto mixDouble = [&h](double d) {
+        uint64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        mix(h, bits);
+    };
+    mixDouble(p.faults.vptValueRate);
+    mixDouble(p.faults.vptConfRate);
+    mixDouble(p.faults.rbOperandRate);
+    mixDouble(p.faults.rbResultRate);
+    mixDouble(p.faults.rbLinkRate);
+    mixDouble(p.faults.rbDropInvRate);
     return h;
 }
 
@@ -300,12 +316,47 @@ SweepEngine::runRecord(Record &rec)
         rec.wallSeconds = secondsSince(t0);
         return;
     }
-    Workload w = makeWorkload(rec.cell.workload, rec.cell.scale);
-    rec.workloadInput = w.input;
-    Simulator sim(rec.cell.params, std::move(w.program));
-    rec.stats = sim.run();
+
+    // Fault isolation: panic()/fatal() inside this cell (simulator
+    // bug, watchdog, lockstep divergence, bad workload name) must not
+    // take down the sweep. Convert them to SimError, attribute them
+    // to this cell, retry once, and record persistent failure in the
+    // result instead of propagating.
+    char phex[17];
+    std::snprintf(phex, sizeof(phex), "%016" PRIx64,
+                  hashParams(rec.cell.params));
+    PanicThrowScope throw_scope;
+    PanicContext cell_frame([&rec, &phex] {
+        return "sweep cell workload=" + rec.cell.workload + " label=" +
+               rec.cell.label + " params=" + phex;
+    });
+
+    const int max_attempts = 2;
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+        rec.attempts = attempt;
+        try {
+            Workload w = makeWorkload(rec.cell.workload, rec.cell.scale);
+            rec.workloadInput = w.input;
+            Simulator sim(rec.cell.params, std::move(w.program));
+            Core &core = sim.core();
+            PanicContext sim_frame([&core] {
+                return "cycle " + std::to_string(core.now()) + ", seq " +
+                       std::to_string(core.seqAllocated());
+            });
+            rec.stats = sim.run();
+            rec.failed = false;
+            rec.error.clear();
+            break;
+        } catch (const SimError &e) {
+            rec.failed = true;
+            rec.error = e.what();
+            rec.stats = CoreStats{};
+        }
+    }
     rec.wallSeconds = secondsSince(t0);
-    if (!cacheDir.empty())
+    // Never cache a failed cell: a transient failure must not poison
+    // later runs through the disk cache.
+    if (!rec.failed && !cacheDir.empty())
         saveToDisk(rec);
 }
 
@@ -399,7 +450,7 @@ SweepEngine::timings() const
     std::vector<CellTiming> out;
     out.reserve(submissionOrder.size());
     for (const Record *r : submissionOrder) {
-        if (!r->done)
+        if (!r->done || r->failed)
             continue;
         CellTiming t;
         t.workload = r->cell.workload;
@@ -409,6 +460,25 @@ SweepEngine::timings() const
         t.committedInsts = r->stats.committedInsts;
         t.fromDiskCache = r->fromDiskCache;
         out.push_back(std::move(t));
+    }
+    return out;
+}
+
+std::vector<CellFailure>
+SweepEngine::failures() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    std::vector<CellFailure> out;
+    for (const Record *r : submissionOrder) {
+        if (!r->done || !r->failed)
+            continue;
+        CellFailure f;
+        f.workload = r->cell.workload;
+        f.label = r->cell.label;
+        f.paramsHash = hashParams(r->cell.params);
+        f.attempts = r->attempts;
+        f.error = r->error;
+        out.push_back(std::move(f));
     }
     return out;
 }
@@ -510,6 +580,19 @@ SweepEngine::printSummary(std::FILE *out) const
         ts.size(), disk_hits, numJobs, wall, cpu,
         static_cast<double>(insts) / 1e6,
         wall > 0.0 ? static_cast<double>(insts) / wall / 1e6 : 0.0);
+    std::vector<CellFailure> fails = failures();
+    if (!fails.empty()) {
+        std::fprintf(out, "[sweep] %zu cell(s) FAILED:\n",
+                     fails.size());
+        for (const CellFailure &f : fails) {
+            std::fprintf(out,
+                         "[sweep]   FAILED %s / %s (params %016" PRIx64
+                         ", %d attempt%s):\n%s\n",
+                         f.workload.c_str(), f.label.c_str(),
+                         f.paramsHash, f.attempts,
+                         f.attempts == 1 ? "" : "s", f.error.c_str());
+        }
+    }
     if (std::getenv("VPIR_TIMING_VERBOSE")) {
         for (const CellTiming &t : ts) {
             std::fprintf(out,
@@ -553,18 +636,31 @@ parallelFor(size_t n, const std::function<void(size_t)> &body,
         std::min<size_t>(j, n));
     std::vector<std::thread> threads;
     threads.reserve(nthreads);
+    // An exception escaping body() on a worker thread would call
+    // std::terminate; capture the first one and rethrow it on the
+    // calling thread after every worker has drained.
+    std::exception_ptr first_error;
+    std::mutex error_mu;
     for (unsigned t = 0; t < nthreads; ++t) {
         threads.emplace_back([&] {
             for (;;) {
                 size_t i = next.fetch_add(1);
                 if (i >= n)
                     return;
-                body(i);
+                try {
+                    body(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lk(error_mu);
+                    if (!first_error)
+                        first_error = std::current_exception();
+                }
             }
         });
     }
     for (std::thread &t : threads)
         t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
 }
 
 } // namespace sweep

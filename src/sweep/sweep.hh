@@ -71,6 +71,16 @@ struct SweepCell
 /** Full cache key: workload + params-hash + scale. */
 uint64_t cellHash(const SweepCell &cell);
 
+/** A cell whose simulation failed (after retry); see failures(). */
+struct CellFailure
+{
+    std::string workload;
+    std::string label;
+    uint64_t paramsHash = 0;
+    int attempts = 0;
+    std::string error; //!< full panic/fatal message, context included
+};
+
 /** Timing/observability record for one executed cell. */
 struct CellTiming
 {
@@ -121,8 +131,18 @@ class SweepEngine
      */
     const CoreStats &get(const SweepCell &cell);
 
-    /** Timing records in cell submission order. */
+    /** Timing records in cell submission order (failed cells are
+     *  excluded; see failures()). */
     std::vector<CellTiming> timings() const;
+
+    /**
+     * Cells whose simulation panicked (in submission order). A failing
+     * cell is retried once, then recorded here with its error message;
+     * the rest of the sweep completes normally and get() returns
+     * zeroed stats for the failed cell. Harnesses must report these
+     * and exit non-zero.
+     */
+    std::vector<CellFailure> failures() const;
 
     /** Wall-clock seconds spent inside drain()/get() waits. */
     double sweepWallSeconds() const;
@@ -155,6 +175,9 @@ class SweepEngine
         bool fromDiskCache = false;
         bool done = false;
         bool running = false;
+        bool failed = false;  //!< simulation panicked (after retry)
+        int attempts = 0;
+        std::string error;    //!< failure message, context included
     };
 
     void runRecord(Record &rec); //!< compute (or disk-load) one cell

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Recoverable-panic machinery: PanicThrowScope turns panic()/fatal()
+ * into catchable SimError on the current thread, and PanicContext
+ * frames annotate the message so a failure deep inside a sweep worker
+ * is attributable to its cell.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/logging.hh"
+
+using namespace vpir;
+
+namespace
+{
+
+TEST(PanicThrow, PanicThrowsSimErrorInsideScope)
+{
+    PanicThrowScope throws_;
+    try {
+        panic("broken invariant");
+        FAIL() << "panic returned";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("broken invariant"),
+                  std::string::npos);
+    }
+}
+
+TEST(PanicThrow, FatalThrowsSimErrorInsideScope)
+{
+    PanicThrowScope throws_;
+    EXPECT_THROW(fatal("bad config"), SimError);
+}
+
+TEST(PanicThrow, AssertMacroReportsLocation)
+{
+    PanicThrowScope throws_;
+    try {
+        VPIR_ASSERT(1 + 1 == 3, "arithmetic drifted");
+        FAIL() << "assert passed";
+    } catch (const SimError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("assertion failed"), std::string::npos);
+        EXPECT_NE(msg.find("test_logging.cc"), std::string::npos);
+        EXPECT_NE(msg.find("arithmetic drifted"), std::string::npos);
+    }
+}
+
+TEST(PanicContext, FramesAppendOutermostFirst)
+{
+    PanicThrowScope throws_;
+    PanicContext outer([] { return std::string("cell=compress/base"); });
+    std::string msg;
+    {
+        PanicContext inner([] { return std::string("cycle 1234"); });
+        try {
+            panic("boom");
+        } catch (const SimError &e) {
+            msg = e.what();
+        }
+    }
+    auto cell_at = msg.find("cell=compress/base");
+    auto cycle_at = msg.find("cycle 1234");
+    ASSERT_NE(cell_at, std::string::npos) << msg;
+    ASSERT_NE(cycle_at, std::string::npos) << msg;
+    EXPECT_LT(cell_at, cycle_at);
+}
+
+TEST(PanicContext, FramesPopOnScopeExit)
+{
+    {
+        PanicContext frame([] { return std::string("ephemeral"); });
+        EXPECT_NE(PanicContext::gather().find("ephemeral"),
+                  std::string::npos);
+    }
+    EXPECT_EQ(PanicContext::gather().find("ephemeral"), std::string::npos);
+}
+
+TEST(PanicContext, LazyProviderOnlyRunsOnFailure)
+{
+    int calls = 0;
+    {
+        PanicContext frame([&calls] {
+            ++calls;
+            return std::string("counted");
+        });
+        EXPECT_EQ(calls, 0);
+        PanicThrowScope throws_;
+        EXPECT_THROW(panic("x"), SimError);
+        EXPECT_EQ(calls, 1);
+    }
+}
+
+} // anonymous namespace

@@ -181,6 +181,108 @@ TEST(SweepEngine, CorruptCacheFileFallsBackToRecompute)
     std::filesystem::remove_all(dir);
 }
 
+TEST(SweepEngine, TruncatedMidWriteCacheFileFallsBackToRecompute)
+{
+    // A crash mid-write leaves a file whose prefix is perfectly valid
+    // JSON — schema line, matching cell_hash — but which stops partway
+    // through the stats object. The loader must reject it (a parser
+    // that stops at the first complete-looking field would resurrect a
+    // half-written record).
+    std::string dir = scratchDir("midwrite");
+    SweepCell c = cell("compress", "base", baseConfig());
+
+    CoreStats fresh;
+    {
+        SweepEngine writer(1, dir);
+        fresh = writer.get(c);
+    }
+    for (const auto &ent : std::filesystem::directory_iterator(dir)) {
+        std::FILE *f = std::fopen(ent.path().c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        std::string body;
+        char buf[4096];
+        size_t got;
+        while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            body.append(buf, got);
+        std::fclose(f);
+        // Keep a prefix that still contains the (valid) cell hash but
+        // is cut inside the stats payload.
+        ASSERT_GT(body.size(), 64u);
+        body.resize(body.size() * 7 / 10);
+        f = std::fopen(ent.path().c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fwrite(body.data(), 1, body.size(), f);
+        std::fclose(f);
+    }
+
+    SweepEngine reader(1, dir);
+    const CoreStats &recomputed = reader.get(c);
+    EXPECT_TRUE(statsEqual(fresh, recomputed));
+    EXPECT_EQ(reader.cellsFromDiskCache(), 0u);
+    EXPECT_EQ(reader.cellsComputed(), 1u);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SweepEngine, PoisonedCellIsIsolatedFromHealthyNeighbors)
+{
+    // One cell that cannot make progress (watchdog trips on cycle 1)
+    // must not take down the sweep: it is retried once, recorded as a
+    // structured failure, kept out of the disk cache, and every other
+    // cell completes bit-identical to a clean engine.
+    std::string dir = scratchDir("poison");
+
+    CoreParams poison = baseConfig();
+    poison.watchdogCycles = 1;
+    std::vector<SweepCell> healthy = {
+        cell("compress", "base", baseConfig()),
+        cell("perl", "base", baseConfig()),
+        cell("m88ksim", "ir", irConfig()),
+    };
+    SweepCell bad = cell("compress", "poisoned", poison);
+
+    SweepEngine eng(2, dir);
+    eng.prefetch(healthy[0]);
+    eng.prefetch(bad);
+    eng.prefetch(healthy[1]);
+    eng.prefetch(healthy[2]);
+    eng.drain();
+
+    std::vector<CellFailure> fails = eng.failures();
+    ASSERT_EQ(fails.size(), 1u);
+    EXPECT_EQ(fails[0].workload, "compress");
+    EXPECT_EQ(fails[0].label, "poisoned");
+    EXPECT_EQ(fails[0].attempts, 2); // retried once, failed again
+    EXPECT_NE(fails[0].error.find("watchdog"), std::string::npos)
+        << fails[0].error;
+    // Context frames attribute the failure to its cell.
+    EXPECT_NE(fails[0].error.find("poisoned"), std::string::npos)
+        << fails[0].error;
+
+    // The failed cell yields empty stats rather than garbage.
+    EXPECT_EQ(eng.get(bad).committedInsts, 0u);
+
+    // Healthy neighbors are untouched by the failure.
+    SweepEngine clean(1, "");
+    for (const SweepCell &c : healthy) {
+        EXPECT_TRUE(statsEqual(eng.get(c), clean.get(c)))
+            << c.workload << "/" << c.label;
+    }
+
+    // Only the healthy cells were persisted; failures are never cached.
+    size_t cached_files = 0;
+    for (const auto &ent : std::filesystem::directory_iterator(dir)) {
+        (void)ent;
+        ++cached_files;
+    }
+    EXPECT_EQ(cached_files, healthy.size());
+
+    // Timing records only cover completed cells.
+    EXPECT_EQ(eng.timings().size(), healthy.size());
+
+    std::filesystem::remove_all(dir);
+}
+
 TEST(SweepEngine, TimingRecordsFollowSubmissionOrder)
 {
     SweepEngine eng(4, "");

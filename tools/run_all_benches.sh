@@ -1,13 +1,16 @@
 #!/bin/sh
-# Run every experiment harness in sequence, failing on the first
-# nonzero exit. Usage:
+# Run every experiment harness in sequence. A failing harness (e.g. a
+# sweep cell that panicked — the harnesses exit non-zero when any cell
+# fails) no longer aborts the remaining benches: every harness runs,
+# the failures are summarised at the end, and the script exits 1 if
+# there were any. Usage:
 #
 #   tools/run_all_benches.sh [build-dir]
 #
 # The usual knobs apply (VPIR_JOBS, VPIR_BENCH_INSTS, VPIR_BENCH_SCALE,
-# VPIR_RESULT_CACHE, VPIR_TIMING_JSON). Wired into ctest as the opt-in
-# "bench" configuration: ctest -C bench.
-set -eu
+# VPIR_RESULT_CACHE, VPIR_TIMING_JSON, VPIR_CHECK, VPIR_FAULT_*).
+# Wired into ctest as the opt-in "bench" configuration: ctest -C bench.
+set -u
 
 BUILD=${1:-build}
 if [ ! -d "$BUILD/bench" ]; then
@@ -21,12 +24,23 @@ BENCHES="bench_table1 bench_table2 bench_table3 bench_table4
          bench_fig6 bench_fig7 bench_fig8 bench_fig9 bench_fig10
          bench_ablation bench_hybrid"
 
+FAILED=""
 for b in $BENCHES; do
     echo "==== $b ===="
-    "$BUILD/bench/$b"
+    if ! "$BUILD/bench/$b"; then
+        echo "run_all_benches: $b exited non-zero" >&2
+        FAILED="$FAILED $b"
+    fi
 done
 
 echo "==== bench_micro ===="
-"$BUILD/bench/bench_micro" --benchmark_min_time=0.01
+if ! "$BUILD/bench/bench_micro" --benchmark_min_time=0.01; then
+    echo "run_all_benches: bench_micro exited non-zero" >&2
+    FAILED="$FAILED bench_micro"
+fi
 
+if [ -n "$FAILED" ]; then
+    echo "run_all_benches: FAILED harnesses:$FAILED" >&2
+    exit 1
+fi
 echo "run_all_benches: all harnesses completed"

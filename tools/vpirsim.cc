@@ -26,6 +26,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "sim/simulator.hh"
 #include "sweep/sweep.hh"
@@ -121,6 +122,7 @@ main(int argc, char **argv)
     }
     params = withLimits(params, max_insts, max_cycles);
     params.warmupInsts = warmup;
+    applyHardeningEnv(params);
 
     sweep::SweepCell cell{workload, config, params, scale};
     sweep::SweepEngine &eng = sweep::SweepEngine::global();
@@ -130,6 +132,18 @@ main(int argc, char **argv)
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
     bool cached = eng.cellsFromDiskCache() > 0;
+
+    std::vector<sweep::CellFailure> fails = eng.failures();
+    if (!fails.empty()) {
+        for (const sweep::CellFailure &f : fails) {
+            std::fprintf(stderr,
+                         "vpirsim: simulation FAILED (%d attempt%s):\n"
+                         "%s\n",
+                         f.attempts, f.attempts == 1 ? "" : "s",
+                         f.error.c_str());
+        }
+        return 1;
+    }
 
     std::printf("workload    %s (%s)\n", workload.c_str(),
                 sweep::cellWorkloadInput(eng, cell).c_str());
