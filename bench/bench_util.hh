@@ -11,16 +11,24 @@
  *   VPIR_BENCH_SCALE    workload scale factor (default 1.0)
  *   VPIR_JOBS           worker threads (default hardware concurrency)
  *   VPIR_RESULT_CACHE   on-disk result cache directory (off if unset)
- *   VPIR_TIMING_JSON    timing report path (default bench_timing.json)
+ *   VPIR_TIMING_JSON    timing report path (default
+ *                       bench_timing.<harness>.json, so a full bench
+ *                       run keeps every harness's records)
  *   VPIR_TIMING_VERBOSE per-cell lines in the stderr summary
  *   VPIR_CHECK          =1: lockstep-verify every retired instruction
  *   VPIR_WATCHDOG_CYCLES commit-progress watchdog limit
  *   VPIR_FAULT_*        deterministic fault injection (see configs.hh)
+ *   VPIR_ISOLATE        =1: run each sweep cell in a forked child so
+ *                       a crash/hang is contained as a CellFailure
+ *   VPIR_CELL_TIMEOUT_MS per-cell wall-clock deadline (SIGKILL when
+ *                       isolated, cooperative panic in-process)
+ *   VPIR_CELL_RLIMIT_MB address-space rlimit per isolated cell
  */
 
 #ifndef VPIR_BENCH_BENCH_UTIL_HH
 #define VPIR_BENCH_BENCH_UTIL_HH
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -61,8 +69,13 @@ class Runner
         if (eng.cellsComputed() + eng.cellsFromDiskCache() == 0)
             return;
         eng.printSummary(stderr);
+        // Default to a per-harness path: 16 harnesses writing one
+        // shared bench_timing.json would each clobber the last one's
+        // records. An explicit VPIR_TIMING_JSON is honored as-is.
         const char *path = std::getenv("VPIR_TIMING_JSON");
-        eng.writeTimingJson(path && *path ? path : "bench_timing.json");
+        std::string def = std::string("bench_timing.") +
+                          program_invocation_short_name + ".json";
+        eng.writeTimingJson(path && *path ? path : def);
     }
 
     /** Schedule a cell without waiting for its result. */

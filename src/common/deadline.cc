@@ -1,0 +1,46 @@
+#include "common/deadline.hh"
+
+namespace vpir
+{
+
+namespace
+{
+
+thread_local bool deadlineArmed = false;
+thread_local std::chrono::steady_clock::time_point deadlineAt;
+
+} // anonymous namespace
+
+CellDeadlineScope::CellDeadlineScope(uint64_t timeout_ms)
+    : armed(timeout_ms > 0), prevArmed(deadlineArmed),
+      prevDeadline(deadlineAt)
+{
+    if (armed) {
+        deadlineArmed = true;
+        deadlineAt = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(timeout_ms);
+    }
+}
+
+CellDeadlineScope::~CellDeadlineScope()
+{
+    if (armed) {
+        deadlineArmed = prevArmed;
+        deadlineAt = prevDeadline;
+    }
+}
+
+bool
+cellDeadlineArmed()
+{
+    return deadlineArmed;
+}
+
+bool
+cellDeadlineExpired()
+{
+    return deadlineArmed &&
+           std::chrono::steady_clock::now() >= deadlineAt;
+}
+
+} // namespace vpir

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Cooperative per-cell wall-clock deadline.
+ *
+ * The sweep engine's non-isolated mode cannot kill() a runaway cell
+ * (it shares the process), so the core's cycle loop polls this
+ * thread-local deadline every few thousand cycles and panics — which
+ * a PanicThrowScope turns into a structured, attributable SimError —
+ * once it expires. The isolated mode enforces the same budget
+ * externally with SIGKILL; this is the in-process fallback.
+ *
+ * Scopes nest; an inner scope restores the outer deadline on
+ * destruction. A timeout of 0 leaves the previous deadline (or none)
+ * in effect.
+ */
+
+#ifndef VPIR_COMMON_DEADLINE_HH
+#define VPIR_COMMON_DEADLINE_HH
+
+#include <chrono>
+#include <cstdint>
+
+namespace vpir
+{
+
+/** Arms a wall-clock deadline @p timeout_ms from now on this thread. */
+class CellDeadlineScope
+{
+  public:
+    explicit CellDeadlineScope(uint64_t timeout_ms);
+    ~CellDeadlineScope();
+
+    CellDeadlineScope(const CellDeadlineScope &) = delete;
+    CellDeadlineScope &operator=(const CellDeadlineScope &) = delete;
+
+  private:
+    bool armed;
+    bool prevArmed;
+    std::chrono::steady_clock::time_point prevDeadline;
+};
+
+/** Whether a deadline is armed on this thread. */
+bool cellDeadlineArmed();
+
+/** Whether the armed deadline has passed (false when unarmed). */
+bool cellDeadlineExpired();
+
+} // namespace vpir
+
+#endif // VPIR_COMMON_DEADLINE_HH

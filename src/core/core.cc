@@ -7,6 +7,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "common/deadline.hh"
 #include "common/logging.hh"
 #include "isa/disasm.hh"
 
@@ -1295,6 +1296,12 @@ Core::cycle()
             watchdogDump();
         }
     }
+    // Cooperative per-cell deadline (the sweep's in-process timeout
+    // mode, VPIR_CELL_TIMEOUT_MS): polled every 16K cycles so the
+    // wall-clock read stays off the hot path.
+    if ((curCycle & 0x3fff) == 0 && cellDeadlineExpired())
+        panic("cell wall-clock deadline exceeded "
+              "(VPIR_CELL_TIMEOUT_MS)");
     ++curCycle;
     ++st.cycles;
     if (st.cycles >= params.maxCycles)

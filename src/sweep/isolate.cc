@@ -1,0 +1,435 @@
+#include "sweep/isolate.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/deadline.hh"
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "sim/simulator.hh"
+#include "sweep/stats_json.hh"
+#include "sweep/sweep.hh"
+
+namespace vpir
+{
+namespace sweep
+{
+
+IsolationConfig
+isolationFromEnv()
+{
+    IsolationConfig cfg;
+    cfg.enabled = parseEnvU64("VPIR_ISOLATE", 0) != 0;
+    cfg.timeoutMs = parseEnvU64("VPIR_CELL_TIMEOUT_MS", 0);
+    cfg.rlimitMb = parseEnvU64("VPIR_CELL_RLIMIT_MB", 0);
+    return cfg;
+}
+
+std::string
+signalName(int sig)
+{
+    switch (sig) {
+      case SIGSEGV: return "SIGSEGV";
+      case SIGABRT: return "SIGABRT";
+      case SIGBUS:  return "SIGBUS";
+      case SIGILL:  return "SIGILL";
+      case SIGFPE:  return "SIGFPE";
+      case SIGKILL: return "SIGKILL";
+      case SIGTERM: return "SIGTERM";
+      case SIGINT:  return "SIGINT";
+      default:      return "signal " + std::to_string(sig);
+    }
+}
+
+// --------------------------------------------------- in-process attempt
+
+CellOutcome
+computeCellOnce(const SweepCell &cell, uint64_t timeout_ms)
+{
+    CellOutcome out;
+    char phex[17];
+    std::snprintf(phex, sizeof(phex), "%016" PRIx64,
+                  hashParams(cell.params));
+
+    PanicThrowScope throw_scope;
+    PanicContext cell_frame([&cell, &phex] {
+        return "sweep cell workload=" + cell.workload + " label=" +
+               cell.label + " params=" + phex;
+    });
+    CellDeadlineScope deadline(timeout_ms);
+
+    // Test/CI hook: stand in for a real simulator crash.
+    if (const char *t = std::getenv("VPIR_TEST_CRASH_CELL");
+        t && cell.label == t)
+        raise(SIGSEGV);
+
+    try {
+        Workload w = makeWorkload(cell.workload, cell.scale);
+        out.workloadInput = w.input;
+        Simulator sim(cell.params, std::move(w.program));
+        Core &core = sim.core();
+        PanicContext sim_frame([&core] {
+            return "cycle " + std::to_string(core.now()) + ", seq " +
+                   std::to_string(core.seqAllocated());
+        });
+        out.stats = sim.run();
+    } catch (const SimError &e) {
+        out.failed = true;
+        out.error = e.what();
+        out.timedOut = cellDeadlineExpired();
+        out.stats = CoreStats{};
+    }
+    return out;
+}
+
+// -------------------------------------------------------- wire protocol
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += ' ';
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+jsonUnescape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '\\' || i + 1 >= s.size()) {
+            out += s[i];
+            continue;
+        }
+        switch (s[++i]) {
+          case 'n':  out += '\n'; break;
+          case 't':  out += '\t'; break;
+          case 'r':  out += '\r'; break;
+          default:   out += s[i]; break; // covers \" and \\ too
+        }
+    }
+    return out;
+}
+
+/** Extract the (escaped) string value of "key": "..." or false. */
+bool
+extractString(const std::string &text, const char *key, std::string &out)
+{
+    std::string needle = std::string("\"") + key + "\": \"";
+    size_t pos = text.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    pos += needle.size();
+    size_t end = pos;
+    while (end < text.size() && text[end] != '"') {
+        if (text[end] == '\\')
+            ++end;
+        ++end;
+    }
+    if (end >= text.size())
+        return false;
+    out = jsonUnescape(text.substr(pos, end - pos));
+    return true;
+}
+
+bool
+extractU64(const std::string &text, const char *key, uint64_t &out)
+{
+    std::string needle = std::string("\"") + key + "\": ";
+    size_t pos = text.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    pos += needle.size();
+    if (pos >= text.size() ||
+        !std::isdigit(static_cast<unsigned char>(text[pos])))
+        return false;
+    uint64_t v = 0;
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos])))
+        v = v * 10 + static_cast<uint64_t>(text[pos++] - '0');
+    out = v;
+    return true;
+}
+
+/** The child's result payload. The stats object comes last so a
+ *  truncated payload (child killed mid-write) fails statsFromJson()
+ *  and takes the abnormal-exit path instead of half-parsing. */
+std::string
+encodeOutcome(const CellOutcome &out)
+{
+    std::string s = "{\n";
+    s += "  \"failed\": " + std::to_string(out.failed ? 1 : 0) + ",\n";
+    s += "  \"timed_out\": " + std::to_string(out.timedOut ? 1 : 0) +
+         ",\n";
+    s += "  \"input\": \"" + jsonEscape(out.workloadInput) + "\",\n";
+    s += "  \"error\": \"" + jsonEscape(out.error) + "\",\n";
+    s += "  \"stats\": " + statsToJson(out.stats) + "\n}\n";
+    return s;
+}
+
+bool
+decodeOutcome(const std::string &text, CellOutcome &out)
+{
+    uint64_t failed = 0, timed_out = 0;
+    CellOutcome tmp;
+    if (!extractU64(text, "failed", failed) ||
+        !extractU64(text, "timed_out", timed_out) ||
+        !extractString(text, "input", tmp.workloadInput) ||
+        !extractString(text, "error", tmp.error))
+        return false;
+    size_t spos = text.find("\"stats\":");
+    if (spos == std::string::npos ||
+        !statsFromJson(text.substr(spos), tmp.stats))
+        return false;
+    tmp.failed = failed != 0;
+    tmp.timedOut = timed_out != 0;
+    out = std::move(tmp);
+    return true;
+}
+
+void
+writeAll(int fd, const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // parent gone (SIGPIPE would normally kill us)
+        }
+        off += static_cast<size_t>(n);
+    }
+}
+
+void
+setNonBlocking(int fd)
+{
+    int flags = fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/** Drain available bytes; returns false once the fd reports EOF. */
+bool
+drainFd(int fd, std::string &buf, size_t cap)
+{
+    char chunk[4096];
+    for (;;) {
+        ssize_t n = read(fd, chunk, sizeof(chunk));
+        if (n > 0) {
+            buf.append(chunk, static_cast<size_t>(n));
+            if (buf.size() > cap)
+                buf.erase(0, buf.size() - cap);
+            continue;
+        }
+        if (n == 0)
+            return false;
+        if (errno == EINTR)
+            continue;
+        return true; // EAGAIN: no more for now, fd still open
+    }
+}
+
+std::string
+stderrTail(const std::string &captured, size_t max = 2048)
+{
+    if (captured.empty())
+        return "";
+    std::string tail = captured.size() > max
+                           ? "..." + captured.substr(captured.size() - max)
+                           : captured;
+    return "\n  child stderr tail:\n" + tail;
+}
+
+} // anonymous namespace
+
+// ------------------------------------------------------- isolated mode
+
+CellOutcome
+runCellIsolated(const SweepCell &cell, const IsolationConfig &cfg)
+{
+    int res_pipe[2], err_pipe[2];
+    if (pipe(res_pipe) != 0) {
+        warn("VPIR_ISOLATE: pipe() failed (" +
+             std::string(std::strerror(errno)) +
+             "); running cell in-process");
+        return computeCellOnce(cell, cfg.timeoutMs);
+    }
+    if (pipe(err_pipe) != 0) {
+        warn("VPIR_ISOLATE: pipe() failed (" +
+             std::string(std::strerror(errno)) +
+             "); running cell in-process");
+        close(res_pipe[0]);
+        close(res_pipe[1]);
+        return computeCellOnce(cell, cfg.timeoutMs);
+    }
+
+    pid_t pid = fork();
+    if (pid < 0) {
+        warn("VPIR_ISOLATE: fork() failed (" +
+             std::string(std::strerror(errno)) +
+             "); running cell in-process");
+        close(res_pipe[0]);
+        close(res_pipe[1]);
+        close(err_pipe[0]);
+        close(err_pipe[1]);
+        return computeCellOnce(cell, cfg.timeoutMs);
+    }
+
+    if (pid == 0) {
+        // Child: finish this cell even if a terminal ^C reaches the
+        // whole process group — the parent coordinates shutdown; a
+        // hard-killed parent leaves us to die on SIGPIPE at result
+        // write. The parent enforces the wall-clock deadline with
+        // SIGKILL, so no cooperative deadline is armed here.
+        sigset_t block;
+        sigemptyset(&block);
+        sigaddset(&block, SIGINT);
+        sigaddset(&block, SIGTERM);
+        sigprocmask(SIG_BLOCK, &block, nullptr);
+
+        close(res_pipe[0]);
+        close(err_pipe[0]);
+        dup2(err_pipe[1], STDERR_FILENO);
+        close(err_pipe[1]);
+        if (cfg.rlimitMb) {
+            struct rlimit rl;
+            rl.rlim_cur = rl.rlim_max =
+                static_cast<rlim_t>(cfg.rlimitMb) << 20;
+            setrlimit(RLIMIT_AS, &rl);
+        }
+        CellOutcome out;
+        try {
+            out = computeCellOnce(cell, 0);
+        } catch (...) {
+            out.failed = true;
+            out.error = "unexpected exception in isolated cell worker";
+            out.stats = CoreStats{};
+        }
+        writeAll(res_pipe[1], encodeOutcome(out));
+        // _exit: never flush stdio buffers inherited from the parent
+        // (a duplicate table header would break stdout determinism).
+        _exit(0);
+    }
+
+    // Parent: drain both pipes until the child is reaped. EOF alone is
+    // not a reliable end-of-child signal — a sibling worker's fork may
+    // have inherited our write ends — so reap with WNOHANG in the
+    // poll loop and stop once the child is gone and the pipes are dry.
+    close(res_pipe[1]);
+    close(err_pipe[1]);
+    setNonBlocking(res_pipe[0]);
+    setNonBlocking(err_pipe[0]);
+
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(
+                        cfg.timeoutMs ? cfg.timeoutMs : 0);
+    bool timedOut = false;
+    bool reaped = false;
+    int status = 0;
+    std::string resultText, errText;
+    constexpr size_t RESULT_CAP = 4u << 20;
+    constexpr size_t STDERR_CAP = 64u << 10;
+
+    while (!reaped) {
+        struct pollfd fds[2] = {{res_pipe[0], POLLIN, 0},
+                                {err_pipe[0], POLLIN, 0}};
+        int wait_ms = 100;
+        if (cfg.timeoutMs && !timedOut) {
+            auto left = std::chrono::duration_cast<
+                            std::chrono::milliseconds>(
+                            deadline - std::chrono::steady_clock::now())
+                            .count();
+            if (left <= 0) {
+                timedOut = true;
+                kill(pid, SIGKILL);
+            } else {
+                wait_ms = static_cast<int>(
+                    std::min<long long>(left, 100));
+            }
+        }
+        poll(fds, 2, wait_ms);
+        drainFd(res_pipe[0], resultText, RESULT_CAP);
+        drainFd(err_pipe[0], errText, STDERR_CAP);
+
+        pid_t r = waitpid(pid, &status, WNOHANG);
+        if (r == pid) {
+            reaped = true;
+            // Final drain: everything the child wrote is in the pipe
+            // buffers by now.
+            drainFd(res_pipe[0], resultText, RESULT_CAP);
+            drainFd(err_pipe[0], errText, STDERR_CAP);
+        } else if (r < 0 && errno != EINTR) {
+            reaped = true; // should not happen; avoid spinning
+        }
+    }
+    close(res_pipe[0]);
+    close(err_pipe[0]);
+
+    CellOutcome out;
+    if (!timedOut && decodeOutcome(resultText, out)) {
+        // Clean handoff (success or structured failure). Forward the
+        // child's stderr (warn lines etc.) so the two modes look the
+        // same on the console.
+        if (!errText.empty())
+            fwrite(errText.data(), 1, errText.size(), stderr);
+        return out;
+    }
+
+    out = CellOutcome{};
+    out.failed = true;
+    out.timedOut = timedOut;
+    out.stats = CoreStats{};
+    if (timedOut) {
+        out.error = "cell deadline exceeded (VPIR_CELL_TIMEOUT_MS=" +
+                    std::to_string(cfg.timeoutMs) +
+                    "): isolated worker killed with SIGKILL" +
+                    stderrTail(errText);
+    } else if (WIFSIGNALED(status)) {
+        out.error = "isolated cell worker killed by " +
+                    signalName(WTERMSIG(status)) + stderrTail(errText);
+    } else if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
+        out.error = "isolated cell worker exited with code " +
+                    std::to_string(WEXITSTATUS(status)) +
+                    stderrTail(errText);
+    } else {
+        out.error =
+            "isolated cell worker returned a truncated result payload" +
+            stderrTail(errText);
+    }
+    return out;
+}
+
+} // namespace sweep
+} // namespace vpir

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Crash-contained execution of one sweep cell.
+ *
+ * PanicThrowScope contains *panics*, but a hard crash — segfault,
+ * sanitizer abort, OOM kill, or a cell that never terminates — still
+ * takes the whole harness (and every in-flight cell) with it. The
+ * isolated mode (VPIR_ISOLATE=1) runs each cell in a forked child:
+ *
+ *  - the child simulates the cell and returns its CoreStats over a
+ *    pipe using the stats_json serializer, so results are bit-
+ *    identical to the in-process mode;
+ *  - an optional address-space rlimit (VPIR_CELL_RLIMIT_MB) turns a
+ *    leaking or pathological cell into a contained allocation
+ *    failure;
+ *  - a wall-clock deadline (VPIR_CELL_TIMEOUT_MS) is enforced by the
+ *    parent with SIGKILL;
+ *  - any abnormal child exit (signal, exit code, captured stderr
+ *    tail) is reported as a structured failure instead of killing
+ *    the sweep.
+ *
+ * In the default in-process mode the same deadline is enforced
+ * cooperatively: computeCellOnce() arms a CellDeadlineScope that the
+ * core's cycle loop polls (see common/deadline.hh).
+ *
+ * VPIR_TEST_CRASH_CELL=<label> is a test/CI hook: a cell whose label
+ * matches raises SIGSEGV in the worker, standing in for a real
+ * simulator crash so containment can be proven end to end.
+ */
+
+#ifndef VPIR_SWEEP_ISOLATE_HH
+#define VPIR_SWEEP_ISOLATE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/core_stats.hh"
+
+namespace vpir
+{
+namespace sweep
+{
+
+struct SweepCell;
+
+/** Cell execution knobs, captured from the environment once per
+ *  engine (so tests can vary them between engines). */
+struct IsolationConfig
+{
+    bool enabled = false;    //!< VPIR_ISOLATE=1: fork per cell
+    uint64_t timeoutMs = 0;  //!< VPIR_CELL_TIMEOUT_MS (0 = none)
+    uint64_t rlimitMb = 0;   //!< VPIR_CELL_RLIMIT_MB (0 = none)
+};
+
+/** Read VPIR_ISOLATE / VPIR_CELL_TIMEOUT_MS / VPIR_CELL_RLIMIT_MB. */
+IsolationConfig isolationFromEnv();
+
+/** Outcome of one cell execution attempt, either mode. */
+struct CellOutcome
+{
+    bool failed = false;
+    bool timedOut = false;      //!< deadline overrun (never retried)
+    CoreStats stats;            //!< zeroed when failed
+    std::string workloadInput;  //!< Workload::input (for vpirsim)
+    std::string error;          //!< failure message, context included
+};
+
+/**
+ * Run the cell on the calling thread under a PanicThrowScope, cell
+ * context frames, and (when @p timeout_ms > 0) a cooperative
+ * deadline. Never throws; panics and fatals become a failed outcome.
+ */
+CellOutcome computeCellOnce(const SweepCell &cell, uint64_t timeout_ms);
+
+/**
+ * Run the cell in a forked child per @p cfg. The child's stderr is
+ * captured: forwarded to the parent's stderr on success, appended
+ * (tail) to the error on failure. Falls back to computeCellOnce()
+ * with a warning if fork/pipe fails.
+ */
+CellOutcome runCellIsolated(const SweepCell &cell,
+                            const IsolationConfig &cfg);
+
+/** "SIGSEGV"-style name for common signals, "signal N" otherwise. */
+std::string signalName(int sig);
+
+} // namespace sweep
+} // namespace vpir
+
+#endif // VPIR_SWEEP_ISOLATE_HH

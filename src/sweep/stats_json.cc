@@ -10,6 +10,32 @@ namespace vpir
 namespace sweep
 {
 
+uint64_t
+statsSchemaFingerprint()
+{
+    static const uint64_t fp = [] {
+        constexpr uint64_t FNV_OFFSET = 0xcbf29ce484222325ull;
+        constexpr uint64_t FNV_PRIME = 0x100000001b3ull;
+        uint64_t h = FNV_OFFSET;
+        auto mixName = [&h, FNV_PRIME](const char *name) {
+            for (const char *p = name; *p; ++p) {
+                h ^= static_cast<unsigned char>(*p);
+                h *= FNV_PRIME;
+            }
+            h ^= '\n'; // field separator: "ab","c" != "a","bc"
+            h *= FNV_PRIME;
+        };
+        CoreStats tmp;
+        forEachStatField(tmp,
+                         [&](const char *name, uint64_t &) {
+                             mixName(name);
+                         });
+        mixName("haltedCleanly");
+        return h;
+    }();
+    return fp;
+}
+
 std::string
 statsToJson(const CoreStats &st)
 {

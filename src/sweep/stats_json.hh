@@ -76,6 +76,16 @@ forEachStatField(Stats &st, Fn &&fn)
 #undef VPIR_STAT_FIELD
 }
 
+/**
+ * FNV-1a fingerprint of the serialized stat schema: every field name
+ * visited by forEachStatField() (plus haltedCleanly), in order. Two
+ * binaries agree on this value iff their statsToJson() payloads are
+ * field-compatible, so the disk cache stamps it into every file and
+ * rejects mismatches loudly instead of failing a silent
+ * field-by-field parse.
+ */
+uint64_t statsSchemaFingerprint();
+
 /** Render the counters as a flat JSON object (uint64 as decimal). */
 std::string statsToJson(const CoreStats &st);
 

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cinttypes>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -15,6 +16,7 @@
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "sim/simulator.hh"
+#include "sweep/isolate.hh"
 #include "sweep/stats_json.hh"
 
 namespace vpir
@@ -165,7 +167,8 @@ cellHash(const SweepCell &cell)
 // -------------------------------------------------------------- engine
 
 SweepEngine::SweepEngine(unsigned jobs, const std::string &cache_dir)
-    : numJobs(jobs ? jobs : defaultJobs()), cacheDir(cache_dir)
+    : numJobs(jobs ? jobs : defaultJobs()), cacheDir(cache_dir),
+      iso(isolationFromEnv())
 {
     if (!cacheDir.empty()) {
         std::error_code ec;
@@ -174,8 +177,36 @@ SweepEngine::SweepEngine(unsigned jobs, const std::string &cache_dir)
             warn("cannot create VPIR_RESULT_CACHE dir '" + cacheDir +
                  "': " + ec.message() + "; disk cache disabled");
             cacheDir.clear();
+        } else {
+            scrubStaleTmpFiles();
         }
     }
+}
+
+void
+SweepEngine::scrubStaleTmpFiles()
+{
+    // The atomic tmp+rename cache write leaks its tmp file when the
+    // writing process is SIGKILLed between the two steps; a later
+    // sweep must not let them accumulate. A tmp belonging to a
+    // concurrently live sweep could in principle be scrubbed here too
+    // — that sweep's rename then fails with a warning and the cell is
+    // simply recomputed next run, so the race is benign.
+    std::error_code ec;
+    std::filesystem::directory_iterator it(cacheDir, ec), end;
+    size_t scrubbed = 0;
+    for (; !ec && it != end; it.increment(ec)) {
+        if (it->path().filename().string().find(".json.tmp.") ==
+            std::string::npos)
+            continue;
+        std::error_code rm_ec;
+        if (std::filesystem::remove(it->path(), rm_ec))
+            ++scrubbed;
+    }
+    if (scrubbed)
+        warn("scrubbed " + std::to_string(scrubbed) +
+             " stale .tmp file(s) left in result cache '" + cacheDir +
+             "' by a killed process");
 }
 
 SweepEngine::~SweepEngine()
@@ -241,6 +272,16 @@ SweepEngine::workerLoop()
             return;
         Record *r = queue.front();
         queue.pop_front();
+        // Graceful stop: abandon queued cells unrun (in-flight ones
+        // finish on their own threads); a rerun resumes them through
+        // the disk cache.
+        if (stopSig.load()) {
+            r->skipped = true;
+            r->done = true;
+            --pending;
+            cellFinished.notify_all();
+            continue;
+        }
         r->running = true;
         lk.unlock();
         runRecord(*r);
@@ -261,6 +302,12 @@ SweepEngine::drain()
         while (!queue.empty()) {
             Record *r = queue.front();
             queue.pop_front();
+            if (stopSig.load()) {
+                r->skipped = true;
+                r->done = true;
+                --pending;
+                continue;
+            }
             r->running = true;
             lk.unlock();
             runRecord(*r);
@@ -273,6 +320,8 @@ SweepEngine::drain()
         cellFinished.wait(lk, [&] { return pending == 0; });
     }
     drainSeconds += secondsSince(t0);
+    lk.unlock();
+    maybeExitOnStop();
 }
 
 const CoreStats &
@@ -293,17 +342,25 @@ SweepEngine::get(const SweepCell &cell)
                 break;
             }
         }
-        r->running = true;
-        lk.unlock();
-        runRecord(*r);
-        lk.lock();
-        r->running = false;
-        r->done = true;
-        --pending;
+        if (stopSig.load()) {
+            r->skipped = true;
+            r->done = true;
+            --pending;
+        } else {
+            r->running = true;
+            lk.unlock();
+            runRecord(*r);
+            lk.lock();
+            r->running = false;
+            r->done = true;
+            --pending;
+        }
     } else {
         cellFinished.wait(lk, [&] { return r->done; });
     }
     drainSeconds += secondsSince(t0);
+    lk.unlock();
+    maybeExitOnStop();
     return r->stats;
 }
 
@@ -317,41 +374,31 @@ SweepEngine::runRecord(Record &rec)
         return;
     }
 
-    // Fault isolation: panic()/fatal() inside this cell (simulator
-    // bug, watchdog, lockstep divergence, bad workload name) must not
-    // take down the sweep. Convert them to SimError, attribute them
-    // to this cell, retry once, and record persistent failure in the
-    // result instead of propagating.
-    char phex[17];
-    std::snprintf(phex, sizeof(phex), "%016" PRIx64,
-                  hashParams(rec.cell.params));
-    PanicThrowScope throw_scope;
-    PanicContext cell_frame([&rec, &phex] {
-        return "sweep cell workload=" + rec.cell.workload + " label=" +
-               rec.cell.label + " params=" + phex;
-    });
-
+    // Fault isolation: a failure inside this cell must not take down
+    // the sweep. In-process, panic()/fatal() (simulator bug, watchdog,
+    // lockstep divergence, bad workload name) become SimError inside
+    // computeCellOnce(); under VPIR_ISOLATE=1 even a hard crash,
+    // sanitizer abort, rlimit OOM, or deadline SIGKILL of the forked
+    // worker is contained. Either way the cell is retried once and a
+    // persistent failure is recorded in the result instead of
+    // propagating.
     const int max_attempts = 2;
     for (int attempt = 1; attempt <= max_attempts; ++attempt) {
         rec.attempts = attempt;
-        try {
-            Workload w = makeWorkload(rec.cell.workload, rec.cell.scale);
-            rec.workloadInput = w.input;
-            Simulator sim(rec.cell.params, std::move(w.program));
-            Core &core = sim.core();
-            PanicContext sim_frame([&core] {
-                return "cycle " + std::to_string(core.now()) + ", seq " +
-                       std::to_string(core.seqAllocated());
-            });
-            rec.stats = sim.run();
-            rec.failed = false;
-            rec.error.clear();
+        CellOutcome out = iso.enabled
+                              ? runCellIsolated(rec.cell, iso)
+                              : computeCellOnce(rec.cell, iso.timeoutMs);
+        rec.stats = out.stats;
+        rec.workloadInput = std::move(out.workloadInput);
+        rec.failed = out.failed;
+        rec.timedOut = out.timedOut;
+        rec.error = std::move(out.error);
+        if (!rec.failed)
             break;
-        } catch (const SimError &e) {
-            rec.failed = true;
-            rec.error = e.what();
-            rec.stats = CoreStats{};
-        }
+        // A deadline overrun is deterministic in time: retrying only
+        // doubles the loss.
+        if (rec.timedOut)
+            break;
     }
     rec.wallSeconds = secondsSince(t0);
     // Never cache a failed cell: a transient failure must not poison
@@ -388,6 +435,22 @@ SweepEngine::tryLoadFromDisk(Record &rec)
         std::string::npos)
         return false;
 
+    // Validate the stat schema: a file written by a binary with a
+    // different stat field set must be rejected loudly up front, not
+    // through a silent field-by-field parse failure.
+    char sfp[17];
+    std::snprintf(sfp, sizeof(sfp), "%016" PRIx64,
+                  statsSchemaFingerprint());
+    if (text.find(std::string("\"stats_schema\": \"") + sfp + "\"") ==
+        std::string::npos) {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true))
+            warn("result cache file " + diskPath(rec) +
+                 " carries a different stats schema (written by an "
+                 "older binary?); recomputing affected cells");
+        return false;
+    }
+
     size_t spos = text.find("\"stats\":");
     if (spos == std::string::npos)
         return false;
@@ -416,12 +479,15 @@ SweepEngine::saveToDisk(const Record &rec)
             warn("cannot write result cache file " + tmp);
             return;
         }
-        char hex[17], phex[17];
+        char hex[17], phex[17], sfp[17];
         std::snprintf(hex, sizeof(hex), "%016" PRIx64, rec.key);
         std::snprintf(phex, sizeof(phex), "%016" PRIx64,
                       hashParams(rec.cell.params));
+        std::snprintf(sfp, sizeof(sfp), "%016" PRIx64,
+                      statsSchemaFingerprint());
         out << "{\n"
-            << "  \"schema\": 1,\n"
+            << "  \"schema\": 2,\n"
+            << "  \"stats_schema\": \"" << sfp << "\",\n"
             << "  \"workload\": \"" << rec.cell.workload << "\",\n"
             << "  \"label\": \"" << rec.cell.label << "\",\n"
             << "  \"input\": \"" << rec.workloadInput << "\",\n"
@@ -450,7 +516,7 @@ SweepEngine::timings() const
     std::vector<CellTiming> out;
     out.reserve(submissionOrder.size());
     for (const Record *r : submissionOrder) {
-        if (!r->done || r->failed)
+        if (!r->done || r->failed || r->skipped)
             continue;
         CellTiming t;
         t.workload = r->cell.workload;
@@ -477,6 +543,7 @@ SweepEngine::failures() const
         f.label = r->cell.label;
         f.paramsHash = hashParams(r->cell.params);
         f.attempts = r->attempts;
+        f.timedOut = r->timedOut;
         f.error = r->error;
         out.push_back(std::move(f));
     }
@@ -496,7 +563,18 @@ SweepEngine::cellsComputed() const
     std::lock_guard<std::mutex> lk(mu);
     size_t n = 0;
     for (const Record *r : submissionOrder)
-        if (r->done && !r->fromDiskCache)
+        if (r->done && !r->fromDiskCache && !r->skipped)
+            ++n;
+    return n;
+}
+
+size_t
+SweepEngine::cellsSkipped() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    size_t n = 0;
+    for (const Record *r : submissionOrder)
+        if (r->skipped)
             ++n;
     return n;
 }
@@ -604,10 +682,110 @@ SweepEngine::printSummary(std::FILE *out) const
     }
 }
 
+// ------------------------------------------------- signals & interrupt
+
+void
+SweepEngine::requestStop(int sig)
+{
+    // Called from the signal handler: a lock-free atomic store is the
+    // only thing allowed here. Workers observe the flag at their next
+    // dequeue; drain()/get() observe it on completion.
+    stopSig.store(sig);
+}
+
+void
+SweepEngine::maybeExitOnStop()
+{
+    int sig = stopSig.load();
+    if (!sig || !exitOnStop)
+        return;
+
+    // Let every in-flight cell finish (workers skip the rest of the
+    // queue); completed cells were flushed to the disk cache as they
+    // finished, so a rerun resumes exactly the missing ones.
+    size_t total, done_cells;
+    {
+        std::unique_lock<std::mutex> lk(mu);
+        if (numJobs <= 1) {
+            while (!queue.empty()) {
+                Record *r = queue.front();
+                queue.pop_front();
+                r->skipped = true;
+                r->done = true;
+                --pending;
+            }
+        } else {
+            cellFinished.wait(lk, [&] { return pending == 0; });
+        }
+        total = submissionOrder.size();
+        done_cells = 0;
+        for (const Record *r : submissionOrder)
+            if (r->done && !r->skipped)
+                ++done_cells;
+    }
+    printSummary(stderr);
+    std::fprintf(stderr,
+                 "[sweep] interrupted by %s: %zu/%zu cells done, "
+                 "rerun to resume%s\n",
+                 signalName(sig).c_str(), done_cells, total,
+                 cacheDir.empty()
+                     ? " (set VPIR_RESULT_CACHE to make resumption "
+                       "skip completed cells)"
+                     : " (completed cells are in the result cache)");
+    std::exit(128 + sig);
+}
+
+namespace
+{
+
+std::atomic<SweepEngine *> signalEngine{nullptr};
+volatile std::sig_atomic_t signalSeen = 0;
+
+void
+sweepSignalHandler(int sig)
+{
+    // Second signal: the user means it — hard-kill immediately.
+    if (signalSeen)
+        _exit(128 + sig);
+    signalSeen = 1;
+    if (SweepEngine *e = signalEngine.load())
+        e->requestStop(sig);
+}
+
+void
+installSweepSignalHandlers(SweepEngine &eng)
+{
+    signalEngine.store(&eng);
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = sweepSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    for (int sig : {SIGINT, SIGTERM}) {
+        struct sigaction old;
+        // Respect an inherited SIG_IGN (nohup convention).
+        if (sigaction(sig, nullptr, &old) == 0 &&
+            old.sa_handler == SIG_IGN)
+            continue;
+        sigaction(sig, &sa, nullptr);
+    }
+}
+
+} // anonymous namespace
+
 SweepEngine &
 SweepEngine::global()
 {
     static SweepEngine engine;
+    // Graceful-shutdown signal handling belongs to the process-wide
+    // engine only; test engines must neither install handlers nor
+    // exit the test binary.
+    static const bool installed = [] {
+        engine.exitOnStop = true;
+        installSweepSignalHandlers(engine);
+        return true;
+    }();
+    (void)installed;
     return engine;
 }
 

@@ -18,14 +18,26 @@
  *    output is byte-identical for any job count;
  *  - an optional on-disk JSON result cache (VPIR_RESULT_CACHE=<dir>)
  *    keyed by the same hash, so re-running a bench after an unrelated
- *    edit skips recomputation;
+ *    edit skips recomputation — and, because completed cells are
+ *    persisted as they finish, a crashed or interrupted sweep resumes
+ *    from exactly the missing cells on rerun;
  *  - per-cell and aggregate wall-time / simulated-MIPS records,
- *    exportable as machine-readable bench_timing.json.
+ *    exportable as machine-readable bench_timing JSON;
+ *  - crash containment (VPIR_ISOLATE=1): each cell runs in a forked
+ *    child with an optional address-space rlimit and wall-clock
+ *    deadline, so a segfault, sanitizer abort, OOM, or hang in one
+ *    cell becomes a structured CellFailure instead of killing the
+ *    fleet (see isolate.hh);
+ *  - graceful SIGINT/SIGTERM handling on the global engine: stop
+ *    scheduling, let in-flight cells finish, flush completed cells to
+ *    the disk cache, print a partial summary, exit 128+signal (a
+ *    second signal hard-kills).
  */
 
 #ifndef VPIR_SWEEP_SWEEP_HH
 #define VPIR_SWEEP_SWEEP_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -39,6 +51,7 @@
 
 #include "core/core_stats.hh"
 #include "core/params.hh"
+#include "sweep/isolate.hh"
 #include "workload/workload.hh"
 
 namespace vpir
@@ -78,7 +91,10 @@ struct CellFailure
     std::string label;
     uint64_t paramsHash = 0;
     int attempts = 0;
-    std::string error; //!< full panic/fatal message, context included
+    bool timedOut = false; //!< killed by the per-cell deadline
+    std::string error; //!< full panic/fatal message, context included;
+                       //!< for an isolated crash: signal name, exit
+                       //!< code, and captured child stderr tail
 };
 
 /** Timing/observability record for one executed cell. */
@@ -151,6 +167,23 @@ class SweepEngine
     size_t cellsComputed() const;
     size_t cellsFromDiskCache() const;
 
+    /** Cells abandoned unrun because a stop was requested. */
+    size_t cellsSkipped() const;
+
+    /**
+     * Request a graceful stop (what the SIGINT/SIGTERM handler calls
+     * on the global engine; async-signal-safe): queued cells are
+     * skipped, in-flight cells finish and are flushed to the disk
+     * cache. On the global engine the next drain()/get() then prints
+     * the partial summary plus an "interrupted: N/M cells done" line
+     * and exits 128+sig; test engines just return, with the skip
+     * observable via cellsSkipped().
+     */
+    void requestStop(int sig);
+
+    /** Signal of a pending stop request, or 0. */
+    int stopRequestedSignal() const { return stopSig.load(); }
+
     /**
      * Write the timing records plus aggregate wall-time and
      * simulated-MIPS as machine-readable JSON. @return success.
@@ -175,7 +208,9 @@ class SweepEngine
         bool fromDiskCache = false;
         bool done = false;
         bool running = false;
-        bool failed = false;  //!< simulation panicked (after retry)
+        bool failed = false;  //!< simulation failed (after retry)
+        bool timedOut = false; //!< failed by per-cell deadline
+        bool skipped = false; //!< abandoned unrun by a stop request
         int attempts = 0;
         std::string error;    //!< failure message, context included
     };
@@ -187,9 +222,14 @@ class SweepEngine
     bool tryLoadFromDisk(Record &rec);
     void saveToDisk(const Record &rec);
     std::string diskPath(const Record &rec) const;
+    void scrubStaleTmpFiles(); //!< crash consistency on startup
+    void maybeExitOnStop();    //!< global-engine interrupt epilogue
 
     unsigned numJobs;
     std::string cacheDir;
+    IsolationConfig iso;
+    std::atomic<int> stopSig{0};
+    bool exitOnStop = false; //!< set on the global engine only
 
     mutable std::mutex mu;
     std::condition_variable workAvailable;

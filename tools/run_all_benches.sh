@@ -5,18 +5,47 @@
 # the failures are summarised at the end, and the script exits 1 if
 # there were any. Usage:
 #
-#   tools/run_all_benches.sh [build-dir]
+#   tools/run_all_benches.sh [--isolate] [build-dir]
+#
+#   --isolate   export VPIR_ISOLATE=1: each sweep cell runs in a
+#               forked child, so a crashing or hanging cell is
+#               reported as a CellFailure instead of killing the
+#               harness.
 #
 # The usual knobs apply (VPIR_JOBS, VPIR_BENCH_INSTS, VPIR_BENCH_SCALE,
-# VPIR_RESULT_CACHE, VPIR_TIMING_JSON, VPIR_CHECK, VPIR_FAULT_*).
+# VPIR_RESULT_CACHE, VPIR_TIMING_JSON, VPIR_CHECK, VPIR_FAULT_*,
+# VPIR_ISOLATE, VPIR_CELL_TIMEOUT_MS, VPIR_CELL_RLIMIT_MB). Each
+# harness writes its own bench_timing.<harness>.json unless
+# VPIR_TIMING_JSON overrides the path.
+#
+# SIGINT/SIGTERM stop gracefully: the harness in flight flushes its
+# completed cells to the result cache (if configured) and exits
+# 128+sig, the script reports which harnesses completed, and a rerun
+# with the same VPIR_RESULT_CACHE resumes from the missing cells.
 # Wired into ctest as the opt-in "bench" configuration: ctest -C bench.
 set -u
 
-BUILD=${1:-build}
+ISOLATE=0
+BUILD=build
+for arg; do
+    case "$arg" in
+        --isolate) ISOLATE=1 ;;
+        --help|-h)
+            echo "usage: $0 [--isolate] [build-dir]" >&2
+            exit 2 ;;
+        *) BUILD=$arg ;;
+    esac
+done
+
 if [ ! -d "$BUILD/bench" ]; then
     echo "run_all_benches: no bench binaries under '$BUILD'" >&2
-    echo "usage: $0 [build-dir]" >&2
+    echo "usage: $0 [--isolate] [build-dir]" >&2
     exit 2
+fi
+
+if [ "$ISOLATE" = 1 ]; then
+    VPIR_ISOLATE=1
+    export VPIR_ISOLATE
 fi
 
 BENCHES="bench_table1 bench_table2 bench_table3 bench_table4
@@ -24,14 +53,40 @@ BENCHES="bench_table1 bench_table2 bench_table3 bench_table4
          bench_fig6 bench_fig7 bench_fig8 bench_fig9 bench_fig10
          bench_ablation bench_hybrid"
 
+# The trap only records the signal; the shell runs it after the
+# harness in flight has finished its own graceful shutdown.
+INTERRUPTED=0
+trap 'INTERRUPTED=1' INT TERM
+
 FAILED=""
+COMPLETED=""
 for b in $BENCHES; do
+    [ "$INTERRUPTED" = 1 ] && break
     echo "==== $b ===="
-    if ! "$BUILD/bench/$b"; then
+    if "$BUILD/bench/$b"; then
+        COMPLETED="$COMPLETED $b"
+    else
+        rc=$?
+        if [ "$rc" -ge 128 ]; then
+            # Killed by a signal (130 = SIGINT): graceful interrupt,
+            # not a bench failure.
+            INTERRUPTED=1
+            break
+        fi
         echo "run_all_benches: $b exited non-zero" >&2
         FAILED="$FAILED $b"
     fi
 done
+
+if [ "$INTERRUPTED" = 1 ]; then
+    echo "run_all_benches: interrupted" >&2
+    echo "run_all_benches: completed harnesses:${COMPLETED:- (none)}" >&2
+    [ -n "$FAILED" ] &&
+        echo "run_all_benches: FAILED harnesses:$FAILED" >&2
+    echo "run_all_benches: rerun with the same VPIR_RESULT_CACHE to" \
+         "resume the remaining cells" >&2
+    exit 130
+fi
 
 echo "==== bench_micro ===="
 if ! "$BUILD/bench/bench_micro" --benchmark_min_time=0.01; then

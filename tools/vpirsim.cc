@@ -16,6 +16,11 @@
  *     --warmup N            functional fast-forward instructions
  *     --scale F             workload scale factor (default 1.0)
  *     --stats               dump the full named statistics set
+ *     --isolate             run the cell in a forked child
+ *                           (VPIR_ISOLATE=1): a simulator crash or
+ *                           hang is reported instead of inherited
+ *     --timeout-ms N        per-cell wall-clock deadline
+ *                           (VPIR_CELL_TIMEOUT_MS)
  *
  * Runs go through the sweep engine, so VPIR_RESULT_CACHE=<dir> makes
  * repeated invocations with identical parameters instant. Host wall
@@ -24,6 +29,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -44,8 +50,8 @@ usage()
         "usage: vpirsim [--config base|ir|ir-late|vp|lvp|hybrid]\n"
         "               [--branch sb|nsb] [--reexec me|nme]\n"
         "               [--verify N] [--max-insts N] [--max-cycles N]\n"
-        "               [--warmup N] [--scale F] [--stats] "
-        "<workload>\n");
+        "               [--warmup N] [--scale F] [--stats]\n"
+        "               [--isolate] [--timeout-ms N] <workload>\n");
     std::exit(1);
 }
 
@@ -95,6 +101,12 @@ main(int argc, char **argv)
             scale.factor = std::strtod(next(), nullptr);
         } else if (arg == "--stats") {
             dump_stats = true;
+        } else if (arg == "--isolate") {
+            // The engine reads the environment when it is first
+            // constructed, which happens after argument parsing.
+            setenv("VPIR_ISOLATE", "1", 1);
+        } else if (arg == "--timeout-ms") {
+            setenv("VPIR_CELL_TIMEOUT_MS", next(), 1);
         } else if (!arg.empty() && arg[0] == '-') {
             usage();
         } else {
