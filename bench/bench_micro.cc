@@ -15,6 +15,7 @@
 #include "mem/cache.hh"
 #include "reuse/reuse_buffer.hh"
 #include "sim/simulator.hh"
+#include "sim/warm_cache.hh"
 #include "vp/vpt.hh"
 
 using namespace vpir;
@@ -179,6 +180,37 @@ BM_PipelineSimulation(benchmark::State &state)
         static_cast<double>(insts) / 1e6, benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_PipelineSimulation)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_CellSetup(benchmark::State &state)
+{
+    // Sweep-cell setup cost: everything that happens before cycle 0 —
+    // workload assembly, image load, functional warmup, core
+    // construction. Honors VPIR_WARM_CACHE, so running it with the
+    // cache off and on measures the warm-start win directly
+    // (tools/perf_smoke.sh does exactly that).
+    WorkloadScale sc;
+    sc.factor = 1.0;
+    CoreParams cfg = withLimits(baseConfig(), 1);
+    cfg.warmupInsts = 20000;
+    uint64_t cells = 0;
+    for (auto _ : state) {
+        if (WarmStartCache::enabledFromEnv()) {
+            WarmStartCache &cache = WarmStartCache::global();
+            auto w = cache.workload("perl", sc);
+            auto snap = cache.snapshot("perl", sc, cfg.warmupInsts);
+            Simulator sim(cfg, std::move(w), std::move(snap));
+            benchmark::DoNotOptimize(&sim.core());
+        } else {
+            Workload w = makeWorkload("perl", sc);
+            Simulator sim(cfg, std::move(w.program));
+            benchmark::DoNotOptimize(&sim.core());
+        }
+        ++cells;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(cells));
+}
+BENCHMARK(BM_CellSetup);
 
 } // anonymous namespace
 

@@ -23,6 +23,8 @@
  *   VPIR_CELL_TIMEOUT_MS per-cell wall-clock deadline (SIGKILL when
  *                       isolated, cooperative panic in-process)
  *   VPIR_CELL_RLIMIT_MB address-space rlimit per isolated cell
+ *   VPIR_WARM_CACHE     =0: disable the warm-start cache (per-cell
+ *                       assembly + warmup; byte-identical results)
  */
 
 #ifndef VPIR_BENCH_BENCH_UTIL_HH

@@ -61,8 +61,14 @@ class LockstepChecker
      * @param warmupInsts  Instructions the core retires functionally
      *                     before timing starts; replayed here so both
      *                     machines start the checked region aligned.
+     * @param warm         Optional post-warmup snapshot for the same
+     *                     (program, warmupInsts): cloned copy-on-write
+     *                     instead of replaying the warmup. The checker
+     *                     still shares no *mutable* state with the
+     *                     core — both write-fault private pages.
      */
-    LockstepChecker(const Program &program, uint64_t warmupInsts);
+    LockstepChecker(const Program &program, uint64_t warmupInsts,
+                    const EmuSnapshot *warm = nullptr);
 
     /** Cross-validate one retired instruction; panics on divergence. */
     void onRetire(const Retired &r);

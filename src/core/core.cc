@@ -8,13 +8,15 @@
 #include <sstream>
 
 #include "common/deadline.hh"
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "isa/disasm.hh"
 
 namespace vpir
 {
 
-Core::Core(const CoreParams &p, const Program &program)
+Core::Core(const CoreParams &p, const Program &program,
+           const EmuSnapshot *warm)
     : params(p),
       prog(program),
       emu(program, state),
@@ -26,13 +28,17 @@ Core::Core(const CoreParams &p, const Program &program)
       rb(p.rb),
       injector(p.faults),
       rob(p.robEntries),
+      lsq(p.lsqEntries),
+      fetchQueue(p.fetchQueueSize),
+      storeQ(p.lsqEntries),
       fetchPC(program.entry)
 {
     if (p.checkRetire)
-        checker = std::make_unique<LockstepChecker>(program, p.warmupInsts);
-    Emulator::loadProgram(program, state);
+        checker = std::make_unique<LockstepChecker>(program, p.warmupInsts,
+                                                    warm);
     for (auto &r : regProducer)
         r = RobRef{};
+    lsqXcheck = parseEnvU64("VPIR_LSQ_XCHECK", 0) != 0;
 
     // One decode-table lookup per *static* instruction; the pipeline
     // reads the cached pointer for every dynamic instance.
@@ -41,6 +47,22 @@ Core::Core(const CoreParams &p, const Program &program)
         decodeCache.push_back(&decodeInfo(i.op));
     orderScratch.reserve(p.robEntries);
 
+    if (warm) {
+        // Warm start: clone the shared post-warmup snapshot instead of
+        // loading the image and replaying the warmup. The clone is
+        // O(pages-resident) pointer copies; writes fault private pages
+        // (see emu/state.hh). Must end bit-identical to the cold path
+        // below, warning included.
+        VPIR_ASSERT(warm->warmupInsts == p.warmupInsts,
+                    "warm snapshot built for a different warmup length");
+        state = warm->state;
+        fetchPC = warm->halted ? prog.entry : warm->pc;
+        if (warm->halted)
+            warn("warmup consumed the whole program");
+        return;
+    }
+
+    Emulator::loadProgram(program, state);
     // Functional fast-forward (paper §4.1.5): execute the first
     // warmupInsts instructions on the emulator alone, then start the
     // timing simulation from wherever the program got to.
@@ -113,6 +135,41 @@ Core::operandView(int slot, int k, uint64_t t) const
     v.value = entryValueFor(p, e.srcReg[k]);
     v.final = v.avail && p.finalized && p.finalizeAt <= t;
     return v;
+}
+
+void
+Core::noteStoreAddrReady()
+{
+    while (storeAddrPrefix < storeQ.size()) {
+        const RobRef &r = storeQ[storeAddrPrefix];
+        if (!refAlive(r) || !at(r.slot).storeAddrReady)
+            break;
+        ++storeAddrPrefix;
+    }
+}
+
+uint64_t
+Core::oldestUnknownStoreSeq() const
+{
+    uint64_t wm = storeAddrPrefix < storeQ.size()
+                      ? storeQ[storeAddrPrefix].seq
+                      : UINT64_MAX;
+    if (lsqXcheck) {
+        // Brute-force cross-check against the scan the watermark
+        // replaced: first in-order store with an unknown address.
+        uint64_t ref = UINT64_MAX;
+        for (const LsqEntry &le : lsq) {
+            if (le.isLoad || !refAlive(le.rob))
+                continue;
+            if (!at(le.rob.slot).storeAddrReady) {
+                ref = le.rob.seq;
+                break;
+            }
+        }
+        VPIR_ASSERT(wm == ref,
+                    "store-address watermark diverged from LSQ scan");
+    }
+    return wm;
 }
 
 unsigned
@@ -303,21 +360,22 @@ Core::tryDispatchReuse(int slot)
             result_ok = false;
         // Non-speculative gate: all older stores must have known,
         // non-overlapping addresses (Table 1's conservative loads).
-        for (const LsqEntry &le : lsq) {
-            if (!refAlive(le.rob) || le.rob.seq >= e.seq)
-                continue;
-            if (le.isLoad)
-                continue;
-            const RobEntry &s = at(le.rob.slot);
-            if (!s.storeAddrReady) {
-                result_ok = false;
-                break;
-            }
+        // Readiness is O(1) against the store-address watermark; the
+        // overlap walk only runs once every address is known, and
+        // only visits stores.
+        if (result_ok && oldestUnknownStoreSeq() < e.seq)
+            result_ok = false;
+        if (result_ok) {
             Addr lo = e.exec.out.memAddr;
-            Addr s_lo = s.curMemAddr;
-            if (lo < s_lo + s.memSz && s_lo < lo + e.memSz) {
-                result_ok = false;
-                break;
+            for (const RobRef &ref : storeQ) {
+                if (ref.seq >= e.seq)
+                    break;
+                const RobEntry &s = at(ref.slot);
+                Addr s_lo = s.curMemAddr;
+                if (lo < s_lo + s.memSz && s_lo < lo + e.memSz) {
+                    result_ok = false;
+                    break;
+                }
             }
         }
     }
@@ -380,8 +438,10 @@ Core::tryDispatchReuse(int slot)
         e.addrReused = true;
         e.curMemAddr = hit.memAddr;
         e.memAddrKnown = true;
-        if (e.isSt)
+        if (e.isSt) {
             e.storeAddrReady = true; // unblocks younger loads early
+            noteStoreAddrReady();
+        }
         rb.noteReused(hit, e.inst);
         if (hit.recoveredSquashedWork)
             ++st.squashedRecovered;
@@ -450,6 +510,11 @@ Core::dispatchStage()
             le.rob = RobRef{slot, e.seq};
             le.isLoad = e.isLd;
             lsq.push_back(le);
+            // Stores also enter the disambiguation queue; appending an
+            // address-unknown store keeps the watermark invariant (it
+            // sits at or beyond storeAddrPrefix).
+            if (e.isSt)
+                storeQ.push_back(le.rob);
         }
 
         if (!e.isHalt && e.cls != InstClass::Nop) {
@@ -502,33 +567,29 @@ Core::loadMayAccess(int slot, bool &forward, RobRef &conflict) const
     const RobEntry &e = at(slot);
     forward = false;
     conflict = RobRef{};
-    // All older stores must have known addresses (Table 1), and an
-    // overlapping one must be exactly matching + data-ready to
-    // forward; otherwise the load waits.
+    // All older stores must have known addresses (Table 1): O(1)
+    // against the store-address watermark. When one is still unknown
+    // the load waits on it; otherwise the overlap walk below visits
+    // only stores, every address known.
+    if (oldestUnknownStoreSeq() < e.seq) {
+        conflict = storeQ[storeAddrPrefix];
+        return false;
+    }
     const RobEntry *fwd_store = nullptr;
-    for (const LsqEntry &le : lsq) {
-        if (!refAlive(le.rob))
-            continue;
-        if (le.rob.seq >= e.seq)
+    Addr l_lo = e.curMemAddr;
+    for (const RobRef &ref : storeQ) {
+        if (ref.seq >= e.seq)
             break;
-        if (le.isLoad)
-            continue;
-        const RobEntry &s = at(le.rob.slot);
-        if (!s.storeAddrReady) {
-            conflict = le.rob;
-            return false;
-        }
+        const RobEntry &s = at(ref.slot);
         Addr s_lo = s.curMemAddr;
         unsigned s_sz = s.memSz;
-        Addr l_lo = e.curMemAddr;
         if (l_lo < s_lo + s_sz && s_lo < l_lo + e.memSz) {
             if (s_lo == l_lo && s_sz == e.memSz) {
                 fwd_store = &s; // youngest matching store wins
-                conflict = le.rob;
+                conflict = ref;
             } else {
                 // Partial overlap: wait until the store commits.
-                conflict = le.rob;
-                fwd_store = nullptr;
+                conflict = ref;
                 return false;
             }
         }
@@ -735,6 +796,7 @@ Core::completeEntry(int slot)
 
     if (e.isSt) {
         e.storeAddrReady = true;
+        noteStoreAddrReady();
         if (params.technique == Technique::IR ||
             params.technique == Technique::Hybrid) {
             // Injected fault: a dropped invalidation leaves stale
@@ -919,6 +981,14 @@ Core::squashAfter(int slot, Addr redirect)
            (!refAlive(lsq.back().rob) || lsq.back().rob.seq > e.seq)) {
         lsq.pop_back();
     }
+    while (!storeQ.empty() &&
+           (!refAlive(storeQ.back()) || storeQ.back().seq > e.seq)) {
+        storeQ.pop_back();
+    }
+    // Surviving entries keep their readiness, so the prefix only needs
+    // clamping to the shortened queue.
+    if (storeAddrPrefix > storeQ.size())
+        storeAddrPrefix = storeQ.size();
     rebuildRename();
 
     state.rollback(e.postMark);
@@ -1187,6 +1257,11 @@ Core::commitStage()
         if (!lsq.empty() && refAlive(lsq.front().rob) &&
             lsq.front().rob.seq == e.seq) {
             lsq.pop_front();
+        }
+        if (e.isSt && !storeQ.empty() && storeQ.front().seq == e.seq) {
+            storeQ.pop_front();
+            if (storeAddrPrefix > 0) // committing store was ready
+                --storeAddrPrefix;
         }
 
         DstRegs d = dstRegs(e.inst);

@@ -19,7 +19,6 @@
 #define VPIR_CORE_CORE_HH
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -27,6 +26,7 @@
 #include "bpred/bpred.hh"
 #include "check/checker.hh"
 #include "check/fault.hh"
+#include "common/ring.hh"
 #include "core/core_stats.hh"
 #include "core/fu_pool.hh"
 #include "core/params.hh"
@@ -165,7 +165,17 @@ void dumpBpredDebug();
 class Core
 {
   public:
-    Core(const CoreParams &params, const Program &program);
+    /**
+     * @param warm  Optional post-warmup snapshot for the same
+     *              (program, params.warmupInsts): the image load and
+     *              functional warmup are replaced by an O(pages)
+     *              copy-on-write clone. Must have been built by
+     *              makeWarmSnapshot() on the same program with the
+     *              same warmup length; the resulting machine is
+     *              bit-identical to a cold-started one.
+     */
+    Core(const CoreParams &params, const Program &program,
+         const EmuSnapshot *warm = nullptr);
 
     /** Run until halt or the configured limits; returns final stats. */
     const CoreStats &run();
@@ -231,6 +241,14 @@ class Core
     /** Current dataflow view of operand @p k of entry @p slot. */
     OperandView operandView(int slot, int k, uint64_t t) const;
 
+    /** Advance the store-address-ready watermark past every ready
+     *  store; call after any store's storeAddrReady flips true. */
+    void noteStoreAddrReady();
+    /** Sequence of the oldest in-flight store whose address is still
+     *  unknown (UINT64_MAX if none): O(1) against the watermark.
+     *  Under VPIR_LSQ_XCHECK, cross-checked against a full LSQ scan. */
+    uint64_t oldestUnknownStoreSeq() const;
+
     void issueEntry(int slot);
     void completeEntry(int slot);
     void doResolve(int slot, Addr computed_next, bool is_final);
@@ -271,8 +289,16 @@ class Core
     int robHead = 0;
     int robTail = 0; //!< next free slot
     unsigned robUsed = 0;
-    std::deque<LsqEntry> lsq;
-    std::deque<FetchedInst> fetchQueue;
+    Ring<LsqEntry> lsq;
+    Ring<FetchedInst> fetchQueue;
+    /** Stores of the lsq in program order: the disambiguation scans
+     *  only ever look at stores, so they walk this instead. */
+    Ring<RobRef> storeQ;
+    /** storeQ[0, storeAddrPrefix) all have storeAddrReady; the entry
+     *  at storeAddrPrefix (when present) does not. Monotone within a
+     *  store's lifetime; commit shifts it down, squash clamps it. */
+    size_t storeAddrPrefix = 0;
+    bool lsqXcheck = false; //!< VPIR_LSQ_XCHECK: brute-force verify
     RobRef regProducer[NUM_ARCH_REGS];
 
     Addr fetchPC;

@@ -294,4 +294,23 @@ Emulator::step()
     return r;
 }
 
+EmuSnapshot
+makeWarmSnapshot(const Program &program, uint64_t warmupInsts)
+{
+    EmuSnapshot snap;
+    Emulator emu(program, snap.state);
+    Emulator::loadProgram(program, snap.state);
+    // Must mirror the cold warmup loop in Core/LockstepChecker
+    // instruction for instruction: a snapshot-started machine and a
+    // cold-started one have to be bit-identical.
+    for (uint64_t i = 0; i < warmupInsts && !emu.halted(); ++i) {
+        emu.step();
+        snap.state.retire(snap.state.mark());
+    }
+    snap.pc = emu.pc();
+    snap.halted = emu.halted();
+    snap.warmupInsts = warmupInsts;
+    return snap;
+}
+
 } // namespace vpir

@@ -92,6 +92,27 @@ class Emulator
     bool isHalted = false;
 };
 
+/**
+ * Frozen post-warmup machine state: the program image loaded and the
+ * first warmupInsts instructions retired functionally. Built once per
+ * (program, warmup) by the warm-start cache and cloned copy-on-write
+ * (EmuState's copy is O(pages)) into every core and lockstep checker
+ * that starts from the same point. Immutable after construction.
+ */
+struct EmuSnapshot
+{
+    EmuState state;         //!< post-load, post-warmup architecture
+    Addr pc = 0;            //!< where the emulator stopped
+    bool halted = false;    //!< warmup consumed the whole program
+    uint64_t warmupInsts = 0; //!< requested warmup (key sanity check)
+};
+
+/**
+ * Execute loadProgram + the functional warmup exactly as Core's and
+ * LockstepChecker's cold constructors do, and freeze the result.
+ */
+EmuSnapshot makeWarmSnapshot(const Program &program, uint64_t warmupInsts);
+
 } // namespace vpir
 
 #endif // VPIR_EMU_EXECUTOR_HH

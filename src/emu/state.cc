@@ -1,5 +1,6 @@
 #include "emu/state.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.hh"
@@ -46,8 +47,16 @@ EmuState::pageFor(Addr addr)
     uint32_t pn = addr >> pageBits;
     auto &p = pages[pn];
     if (!p) {
-        p = std::make_unique<Page>();
+        p = std::make_shared<Page>();
         p->fill(0);
+    } else if (p.use_count() > 1) {
+        // Write fault on a shared page: clone before mutating so every
+        // other state sharing it keeps its snapshot intact. A stale
+        // use_count read from a concurrent clone's release can only
+        // cause a harmless extra copy, never a missed one: the count
+        // cannot grow without this owner copying the state itself.
+        p = std::make_shared<Page>(*p);
+        ++cowFaults_;
     }
     return *p;
 }
@@ -59,9 +68,31 @@ EmuState::pageForRead(Addr addr) const
     return it == pages.end() ? nullptr : it->second.get();
 }
 
+size_t
+EmuState::sharedPages() const
+{
+    size_t n = 0;
+    for (const auto &[pn, p] : pages)
+        if (p.use_count() > 1)
+            ++n;
+    return n;
+}
+
 uint64_t
 EmuState::readMemRaw(Addr addr, unsigned size) const
 {
+    uint32_t off = addr & (pageSize - 1);
+    if (off + size <= pageSize) {
+        // Single-page access (the overwhelming case): one map lookup
+        // instead of one per byte.
+        const Page *p = pageForRead(addr);
+        if (!p)
+            return 0;
+        uint64_t v = 0;
+        for (unsigned b = 0; b < size; ++b)
+            v |= static_cast<uint64_t>((*p)[off + b]) << (8 * b);
+        return v;
+    }
     uint64_t v = 0;
     for (unsigned b = 0; b < size; ++b) {
         Addr a = addr + b;
@@ -75,6 +106,13 @@ EmuState::readMemRaw(Addr addr, unsigned size) const
 void
 EmuState::writeMemRaw(Addr addr, unsigned size, uint64_t value)
 {
+    uint32_t off = addr & (pageSize - 1);
+    if (off + size <= pageSize) {
+        Page &p = pageFor(addr); // one lookup + at most one COW fault
+        for (unsigned b = 0; b < size; ++b)
+            p[off + b] = static_cast<uint8_t>(value >> (8 * b));
+        return;
+    }
     for (unsigned b = 0; b < size; ++b) {
         Addr a = addr + b;
         pageFor(a)[a & (pageSize - 1)] =
@@ -107,8 +145,15 @@ EmuState::initMem(Addr addr, unsigned size, uint64_t value)
 void
 EmuState::initBytes(Addr addr, const uint8_t *data, size_t len)
 {
-    for (size_t i = 0; i < len; ++i)
-        writeMemRaw(addr + static_cast<Addr>(i), 1, data[i]);
+    // Page-at-a-time: image loading is on the snapshot-build path.
+    size_t i = 0;
+    while (i < len) {
+        Addr a = addr + static_cast<Addr>(i);
+        uint32_t off = a & (pageSize - 1);
+        size_t chunk = std::min<size_t>(len - i, pageSize - off);
+        std::memcpy(pageFor(a).data() + off, data + i, chunk);
+        i += chunk;
+    }
 }
 
 void

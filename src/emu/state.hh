@@ -8,6 +8,16 @@
  * and memory write is journaled; a squash rolls the journal back to
  * the offending branch's position, restoring the exact architectural
  * state the correct path must see.
+ *
+ * Memory pages are held behind shared_ptr and cloned copy-on-write:
+ * copying an EmuState is O(pages-resident) pointer copies, and the
+ * first write to a shared page clones just that page. This is what
+ * makes post-warmup snapshots (sim/warm_cache.hh) cheap enough to
+ * hand every sweep cell — and every lockstep checker — a private
+ * state without re-executing the warmup. shared_ptr's atomic
+ * refcounts make concurrent clones of one immutable snapshot safe:
+ * writers clone before touching a page whose count exceeds one, and
+ * a count of one means this state is the sole owner.
  */
 
 #ifndef VPIR_EMU_STATE_HH
@@ -71,6 +81,17 @@ class EmuState
     /** Number of live journal records (test/diagnostic hook). */
     size_t journalDepth() const { return journal.size(); }
 
+    // --- copy-on-write observability ---------------------------------
+    /** Pages resident in this state's sparse map. */
+    size_t residentPages() const { return pages.size(); }
+
+    /** Pages currently shared with at least one other state. */
+    size_t sharedPages() const;
+
+    /** Write faults that cloned a shared page since construction
+     *  (copies inherit the source's count; compare deltas). */
+    uint64_t cowFaults() const { return cowFaults_; }
+
   private:
     struct UndoRec
     {
@@ -92,9 +113,12 @@ class EmuState
     void writeMemRaw(Addr addr, unsigned size, uint64_t value);
 
     std::array<uint64_t, NUM_ARCH_REGS> regs;
-    std::unordered_map<uint32_t, std::unique_ptr<Page>> pages;
+    /** shared_ptr, not unique_ptr: the default copy operations then
+     *  implement the COW clone (pages shared until written). */
+    std::unordered_map<uint32_t, std::shared_ptr<Page>> pages;
     std::deque<UndoRec> journal;
     JournalMark journalBase = 0;
+    uint64_t cowFaults_ = 0;
 };
 
 } // namespace vpir

@@ -1,14 +1,25 @@
 #include "sim/simulator.hh"
 
 #include "common/env.hh"
+#include "sim/warm_cache.hh"
 
 namespace vpir
 {
 
 Simulator::Simulator(const CoreParams &params, Program program)
-    : prog(std::move(program))
 {
-    core_ = std::make_unique<Core>(params, prog);
+    auto w = std::make_shared<Workload>();
+    w->program = std::move(program);
+    wl = std::move(w);
+    core_ = std::make_unique<Core>(params, wl->program);
+}
+
+Simulator::Simulator(const CoreParams &params,
+                     std::shared_ptr<const Workload> workload,
+                     std::shared_ptr<const EmuSnapshot> warm)
+    : wl(std::move(workload)), warm_(std::move(warm))
+{
+    core_ = std::make_unique<Core>(params, wl->program, warm_.get());
 }
 
 const CoreStats &
@@ -21,6 +32,13 @@ CoreStats
 runWorkload(const std::string &name, const CoreParams &params,
             const WorkloadScale &scale)
 {
+    if (WarmStartCache::enabledFromEnv()) {
+        WarmStartCache &cache = WarmStartCache::global();
+        auto w = cache.workload(name, scale);
+        auto snap = cache.snapshot(name, scale, params.warmupInsts);
+        Simulator sim(params, std::move(w), std::move(snap));
+        return sim.run();
+    }
     Workload w = makeWorkload(name, scale);
     Simulator sim(params, std::move(w.program));
     return sim.run();

@@ -18,21 +18,33 @@
 namespace vpir
 {
 
-/** Owns a program and a core; runs to completion. */
+/** Owns (or shares) a program and owns a core; runs to completion. */
 class Simulator
 {
   public:
+    /** Take sole ownership of an already-assembled program. */
     Simulator(const CoreParams &params, Program program);
+
+    /**
+     * Share a cached workload (and optionally a post-warmup snapshot
+     * for params.warmupInsts) with other simulators — see
+     * sim/warm_cache.hh. The snapshot skips the functional warmup via
+     * a copy-on-write clone; results are bit-identical either way.
+     */
+    Simulator(const CoreParams &params,
+              std::shared_ptr<const Workload> workload,
+              std::shared_ptr<const EmuSnapshot> warm = nullptr);
 
     /** Run until halt or configured limits. */
     const CoreStats &run();
 
     const CoreStats &stats() const { return core_->stats(); }
     Core &core() { return *core_; }
-    const Program &program() const { return prog; }
+    const Program &program() const { return wl->program; }
 
   private:
-    Program prog;
+    std::shared_ptr<const Workload> wl;
+    std::shared_ptr<const EmuSnapshot> warm_;
     std::unique_ptr<Core> core_;
 };
 

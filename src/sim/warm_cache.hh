@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Warm-start cache: assembled programs and post-warmup emulator
+ * snapshots shared across sweep cells.
+ *
+ * A parameter sweep runs hundreds of cells, but only a handful of
+ * distinct (workload, scale) programs and (workload, scale, warmup)
+ * functional states exist among them. Before this cache every cell
+ * re-assembled its workload and re-executed the warmup from scratch;
+ * now the first cell needing a key builds it once and every later
+ * cell clones it — the program by shared_ptr, the emulator state by a
+ * copy-on-write page-table copy (see emu/state.hh).
+ *
+ * Thread safety: keyed std::call_once slots, so concurrent sweep
+ * workers asking for the same key block on one build instead of
+ * racing duplicates. A build that panics (SimError under
+ * PanicThrowScope) leaves the slot unbuilt; the next caller retries
+ * and observes the same error.
+ *
+ * Fork safety: under VPIR_ISOLATE the parent must populate the cache
+ * *before* forking a cell child (SweepEngine does) — a child forked
+ * while another worker holds a cache mutex would deadlock on it.
+ *
+ * Disabled with VPIR_WARM_CACHE=0 (default on), in which case callers
+ * fall back to per-cell assembly/warmup and results must be
+ * byte-identical.
+ */
+
+#ifndef VPIR_SIM_WARM_CACHE_HH
+#define VPIR_SIM_WARM_CACHE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "emu/executor.hh"
+#include "workload/workload.hh"
+
+namespace vpir
+{
+
+/** Process-wide cache of assembled workloads and warm snapshots. */
+class WarmStartCache
+{
+  public:
+    /** Lifetime build/hit counters (monotone; clear() resets). */
+    struct Counters
+    {
+        uint64_t programBuilds = 0;
+        uint64_t programHits = 0;
+        uint64_t snapshotBuilds = 0;
+        uint64_t snapshotHits = 0;
+    };
+
+    /** The VPIR_WARM_CACHE knob (default on). Read per call so tests
+     *  can toggle it with an env guard mid-process. */
+    static bool enabledFromEnv();
+
+    static WarmStartCache &global();
+
+    /**
+     * The assembled workload for (name, scale), built at most once.
+     * @param built  When non-null, set true iff *this call* performed
+     *               the build (per-call attribution; the global
+     *               counters are racy to diff under concurrency).
+     */
+    std::shared_ptr<const Workload> workload(const std::string &name,
+                                             const WorkloadScale &scale,
+                                             bool *built = nullptr);
+
+    /**
+     * The post-warmup snapshot for (name, scale, warmupInsts), built
+     * at most once via makeWarmSnapshot() on the cached workload's
+     * program (building that first if needed — a snapshot build with
+     * @p built set does not also report the program build).
+     */
+    std::shared_ptr<const EmuSnapshot>
+    snapshot(const std::string &name, const WorkloadScale &scale,
+             uint64_t warmupInsts, bool *built = nullptr);
+
+    Counters counters() const;
+
+    /** Drop every entry and zero the counters (test hook). */
+    void clear();
+
+  private:
+    template <typename T>
+    struct Slot
+    {
+        std::once_flag once;
+        std::shared_ptr<const T> value;
+    };
+
+    template <typename T>
+    std::shared_ptr<Slot<T>> slotFor(std::map<std::string,
+                                              std::shared_ptr<Slot<T>>> &m,
+                                     const std::string &key);
+
+    mutable std::mutex mu;
+    std::map<std::string, std::shared_ptr<Slot<Workload>>> programs;
+    std::map<std::string, std::shared_ptr<Slot<EmuSnapshot>>> snapshots;
+    Counters ctr;
+};
+
+} // namespace vpir
+
+#endif // VPIR_SIM_WARM_CACHE_HH

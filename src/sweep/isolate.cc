@@ -19,6 +19,7 @@
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "sim/simulator.hh"
+#include "sim/warm_cache.hh"
 #include "sweep/stats_json.hh"
 #include "sweep/sweep.hh"
 
@@ -56,7 +57,9 @@ signalName(int sig)
 // --------------------------------------------------- in-process attempt
 
 CellOutcome
-computeCellOnce(const SweepCell &cell, uint64_t timeout_ms)
+computeCellOnce(const SweepCell &cell, uint64_t timeout_ms,
+                std::shared_ptr<const Workload> prebuilt_w,
+                std::shared_ptr<const EmuSnapshot> prebuilt_snap)
 {
     CellOutcome out;
     char phex[17];
@@ -75,16 +78,43 @@ computeCellOnce(const SweepCell &cell, uint64_t timeout_ms)
         t && cell.label == t)
         raise(SIGSEGV);
 
+    auto t0 = std::chrono::steady_clock::now();
     try {
-        Workload w = makeWorkload(cell.workload, cell.scale);
-        out.workloadInput = w.input;
-        Simulator sim(cell.params, std::move(w.program));
+        std::shared_ptr<const Workload> w = std::move(prebuilt_w);
+        std::shared_ptr<const EmuSnapshot> snap = std::move(prebuilt_snap);
+        if (!w) {
+            if (WarmStartCache::enabledFromEnv()) {
+                // In-process mode: first cell per key builds, the
+                // others hit. The build cost lands in that one cell's
+                // setupSeconds — phase timing stays honest.
+                WarmStartCache &cache = WarmStartCache::global();
+                w = cache.workload(cell.workload, cell.scale,
+                                   &out.asmBuilt);
+                snap = cache.snapshot(cell.workload, cell.scale,
+                                      cell.params.warmupInsts,
+                                      &out.warmBuilt);
+            } else {
+                auto priv = std::make_shared<Workload>(
+                    makeWorkload(cell.workload, cell.scale));
+                w = std::move(priv);
+                out.asmBuilt = true;
+                out.warmBuilt = true; // Core ctor replays the warmup
+            }
+        }
+        out.workloadInput = w->input;
+        Simulator sim(cell.params, std::move(w), std::move(snap));
+        auto t1 = std::chrono::steady_clock::now();
+        out.setupSeconds =
+            std::chrono::duration<double>(t1 - t0).count();
         Core &core = sim.core();
         PanicContext sim_frame([&core] {
             return "cycle " + std::to_string(core.now()) + ", seq " +
                    std::to_string(core.seqAllocated());
         });
         out.stats = sim.run();
+        out.runSeconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t1)
+                             .count();
     } catch (const SimError &e) {
         out.failed = true;
         out.error = e.what();
@@ -187,9 +217,20 @@ extractU64(const std::string &text, const char *key, uint64_t &out)
 std::string
 encodeOutcome(const CellOutcome &out)
 {
+    // Phase durations travel as integer microseconds: extractU64 stays
+    // the only number parser the protocol needs.
+    auto us = [](double s) {
+        return std::to_string(static_cast<uint64_t>(s * 1e6));
+    };
     std::string s = "{\n";
     s += "  \"failed\": " + std::to_string(out.failed ? 1 : 0) + ",\n";
     s += "  \"timed_out\": " + std::to_string(out.timedOut ? 1 : 0) +
+         ",\n";
+    s += "  \"setup_us\": " + us(out.setupSeconds) + ",\n";
+    s += "  \"run_us\": " + us(out.runSeconds) + ",\n";
+    s += "  \"asm_built\": " + std::to_string(out.asmBuilt ? 1 : 0) +
+         ",\n";
+    s += "  \"warm_built\": " + std::to_string(out.warmBuilt ? 1 : 0) +
          ",\n";
     s += "  \"input\": \"" + jsonEscape(out.workloadInput) + "\",\n";
     s += "  \"error\": \"" + jsonEscape(out.error) + "\",\n";
@@ -201,9 +242,14 @@ bool
 decodeOutcome(const std::string &text, CellOutcome &out)
 {
     uint64_t failed = 0, timed_out = 0;
+    uint64_t setup_us = 0, run_us = 0, asm_built = 0, warm_built = 0;
     CellOutcome tmp;
     if (!extractU64(text, "failed", failed) ||
         !extractU64(text, "timed_out", timed_out) ||
+        !extractU64(text, "setup_us", setup_us) ||
+        !extractU64(text, "run_us", run_us) ||
+        !extractU64(text, "asm_built", asm_built) ||
+        !extractU64(text, "warm_built", warm_built) ||
         !extractString(text, "input", tmp.workloadInput) ||
         !extractString(text, "error", tmp.error))
         return false;
@@ -213,6 +259,10 @@ decodeOutcome(const std::string &text, CellOutcome &out)
         return false;
     tmp.failed = failed != 0;
     tmp.timedOut = timed_out != 0;
+    tmp.setupSeconds = static_cast<double>(setup_us) / 1e6;
+    tmp.runSeconds = static_cast<double>(run_us) / 1e6;
+    tmp.asmBuilt = asm_built != 0;
+    tmp.warmBuilt = warm_built != 0;
     out = std::move(tmp);
     return true;
 }
@@ -277,14 +327,17 @@ stderrTail(const std::string &captured, size_t max = 2048)
 // ------------------------------------------------------- isolated mode
 
 CellOutcome
-runCellIsolated(const SweepCell &cell, const IsolationConfig &cfg)
+runCellIsolated(const SweepCell &cell, const IsolationConfig &cfg,
+                std::shared_ptr<const Workload> prebuilt_w,
+                std::shared_ptr<const EmuSnapshot> prebuilt_snap)
 {
     int res_pipe[2], err_pipe[2];
     if (pipe(res_pipe) != 0) {
         warn("VPIR_ISOLATE: pipe() failed (" +
              std::string(std::strerror(errno)) +
              "); running cell in-process");
-        return computeCellOnce(cell, cfg.timeoutMs);
+        return computeCellOnce(cell, cfg.timeoutMs, prebuilt_w,
+                               prebuilt_snap);
     }
     if (pipe(err_pipe) != 0) {
         warn("VPIR_ISOLATE: pipe() failed (" +
@@ -292,7 +345,8 @@ runCellIsolated(const SweepCell &cell, const IsolationConfig &cfg)
              "); running cell in-process");
         close(res_pipe[0]);
         close(res_pipe[1]);
-        return computeCellOnce(cell, cfg.timeoutMs);
+        return computeCellOnce(cell, cfg.timeoutMs, prebuilt_w,
+                               prebuilt_snap);
     }
 
     pid_t pid = fork();
@@ -304,7 +358,8 @@ runCellIsolated(const SweepCell &cell, const IsolationConfig &cfg)
         close(res_pipe[1]);
         close(err_pipe[0]);
         close(err_pipe[1]);
-        return computeCellOnce(cell, cfg.timeoutMs);
+        return computeCellOnce(cell, cfg.timeoutMs, prebuilt_w,
+                               prebuilt_snap);
     }
 
     if (pid == 0) {
@@ -331,7 +386,7 @@ runCellIsolated(const SweepCell &cell, const IsolationConfig &cfg)
         }
         CellOutcome out;
         try {
-            out = computeCellOnce(cell, 0);
+            out = computeCellOnce(cell, 0, prebuilt_w, prebuilt_snap);
         } catch (...) {
             out.failed = true;
             out.error = "unexpected exception in isolated cell worker";

@@ -32,12 +32,17 @@
 #define VPIR_SWEEP_ISOLATE_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "core/core_stats.hh"
 
 namespace vpir
 {
+
+struct Workload;
+struct EmuSnapshot;
+
 namespace sweep
 {
 
@@ -63,14 +68,32 @@ struct CellOutcome
     CoreStats stats;            //!< zeroed when failed
     std::string workloadInput;  //!< Workload::input (for vpirsim)
     std::string error;          //!< failure message, context included
+
+    // Phase breakdown of this attempt (bench_timing provenance).
+    double setupSeconds = 0.0;  //!< workload + core construction
+    double runSeconds = 0.0;    //!< timed simulation proper
+    bool asmBuilt = false;      //!< this attempt assembled the program
+    bool warmBuilt = false;     //!< this attempt executed the warmup
 };
 
 /**
  * Run the cell on the calling thread under a PanicThrowScope, cell
  * context frames, and (when @p timeout_ms > 0) a cooperative
  * deadline. Never throws; panics and fatals become a failed outcome.
+ *
+ * @param prebuilt_w, prebuilt_snap
+ *     Pre-resolved warm-start handles for this cell's (workload,
+ *     scale, warmup) key. Passed by the isolated mode, where the
+ *     parent populates the WarmStartCache *before* forking (a child
+ *     must never touch the cache's locks — see sim/warm_cache.hh).
+ *     When null, the cell resolves them itself: from the cache when
+ *     VPIR_WARM_CACHE is on, by assembling and warming privately
+ *     otherwise.
  */
-CellOutcome computeCellOnce(const SweepCell &cell, uint64_t timeout_ms);
+CellOutcome
+computeCellOnce(const SweepCell &cell, uint64_t timeout_ms,
+                std::shared_ptr<const Workload> prebuilt_w = nullptr,
+                std::shared_ptr<const EmuSnapshot> prebuilt_snap = nullptr);
 
 /**
  * Run the cell in a forked child per @p cfg. The child's stderr is
@@ -78,8 +101,10 @@ CellOutcome computeCellOnce(const SweepCell &cell, uint64_t timeout_ms);
  * (tail) to the error on failure. Falls back to computeCellOnce()
  * with a warning if fork/pipe fails.
  */
-CellOutcome runCellIsolated(const SweepCell &cell,
-                            const IsolationConfig &cfg);
+CellOutcome
+runCellIsolated(const SweepCell &cell, const IsolationConfig &cfg,
+                std::shared_ptr<const Workload> prebuilt_w = nullptr,
+                std::shared_ptr<const EmuSnapshot> prebuilt_snap = nullptr);
 
 /** "SIGSEGV"-style name for common signals, "signal N" otherwise. */
 std::string signalName(int sig);

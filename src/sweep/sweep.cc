@@ -16,6 +16,7 @@
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "sim/simulator.hh"
+#include "sim/warm_cache.hh"
 #include "sweep/isolate.hh"
 #include "sweep/stats_json.hh"
 
@@ -382,17 +383,50 @@ SweepEngine::runRecord(Record &rec)
     // worker is contained. Either way the cell is retried once and a
     // persistent failure is recorded in the result instead of
     // propagating.
+    // Warm-start prewarm for the isolated mode: the forked child must
+    // never touch the WarmStartCache (another worker thread could hold
+    // its mutex at fork time), so the parent resolves the handles
+    // here, on a plain thread, and hands them to the child via the
+    // copied address space. A prewarm failure (bad workload name etc.)
+    // is deliberately swallowed: the child retries cold and reports
+    // the same error through the normal structured-failure path.
+    std::shared_ptr<const Workload> pw;
+    std::shared_ptr<const EmuSnapshot> psnap;
+    bool prewarm_asm = false, prewarm_warm = false;
+    if (iso.enabled && WarmStartCache::enabledFromEnv()) {
+        PanicThrowScope throw_scope;
+        try {
+            WarmStartCache &cache = WarmStartCache::global();
+            pw = cache.workload(rec.cell.workload, rec.cell.scale,
+                                &prewarm_asm);
+            psnap = cache.snapshot(rec.cell.workload, rec.cell.scale,
+                                   rec.cell.params.warmupInsts,
+                                   &prewarm_warm);
+        } catch (const SimError &) {
+            pw = nullptr;
+            psnap = nullptr;
+        }
+    }
+
     const int max_attempts = 2;
     for (int attempt = 1; attempt <= max_attempts; ++attempt) {
         rec.attempts = attempt;
-        CellOutcome out = iso.enabled
-                              ? runCellIsolated(rec.cell, iso)
-                              : computeCellOnce(rec.cell, iso.timeoutMs);
+        CellOutcome out =
+            iso.enabled
+                ? runCellIsolated(rec.cell, iso, pw, psnap)
+                : computeCellOnce(rec.cell, iso.timeoutMs);
         rec.stats = out.stats;
         rec.workloadInput = std::move(out.workloadInput);
         rec.failed = out.failed;
         rec.timedOut = out.timedOut;
         rec.error = std::move(out.error);
+        rec.setupSeconds = out.setupSeconds;
+        rec.runSeconds = out.runSeconds;
+        // Attribute a parent-side prewarm build to this cell: the cell
+        // that triggered the build is the one that paid for it, in
+        // both execution modes.
+        rec.asmBuilt = out.asmBuilt || prewarm_asm;
+        rec.warmBuilt = out.warmBuilt || prewarm_warm;
         if (!rec.failed)
             break;
         // A deadline overrun is deterministic in time: retrying only
@@ -525,6 +559,10 @@ SweepEngine::timings() const
         t.wallSeconds = r->wallSeconds;
         t.committedInsts = r->stats.committedInsts;
         t.fromDiskCache = r->fromDiskCache;
+        t.setupSeconds = r->setupSeconds;
+        t.runSeconds = r->runSeconds;
+        t.assembled = r->asmBuilt;
+        t.warmed = r->warmBuilt;
         out.push_back(std::move(t));
     }
     return out;
@@ -595,40 +633,68 @@ SweepEngine::writeTimingJson(const std::string &path) const
 {
     std::vector<CellTiming> ts = timings();
     double wall = sweepWallSeconds();
-    double cpu = 0.0;
+    double cpu = 0.0, setup = 0.0, run = 0.0;
     uint64_t insts = 0;
-    size_t disk_hits = 0;
+    size_t disk_hits = 0, assembled = 0, warmed = 0;
     for (const CellTiming &t : ts) {
         cpu += t.wallSeconds;
+        setup += t.setupSeconds;
+        run += t.runSeconds;
         insts += t.committedInsts;
         if (t.fromDiskCache)
             ++disk_hits;
+        if (t.assembled)
+            ++assembled;
+        if (t.warmed)
+            ++warmed;
     }
+    WarmStartCache::Counters wc = WarmStartCache::global().counters();
 
     std::ofstream out(path);
     if (!out)
         return false;
-    char buf[256];
+    char buf[512];
     out << "{\n  \"jobs\": " << numJobs << ",\n";
     std::snprintf(buf, sizeof(buf),
                   "  \"aggregate\": {\"cells\": %zu, "
                   "\"disk_cache_hits\": %zu, \"wall_s\": %.6f, "
-                  "\"cpu_s\": %.6f, \"insts\": %" PRIu64
+                  "\"cpu_s\": %.6f, \"setup_s\": %.6f, "
+                  "\"run_s\": %.6f, \"insts\": %" PRIu64
                   ", \"mips\": %.3f},\n",
-                  ts.size(), disk_hits, wall, cpu, insts,
+                  ts.size(), disk_hits, wall, cpu, setup, run, insts,
                   wall > 0.0 ? static_cast<double>(insts) / wall / 1e6
                              : 0.0);
+    out << buf;
+    // Process-wide warm-start counters: "builds" should equal the
+    // number of distinct (workload, scale[, warmup]) keys the process
+    // ever touched, no matter how many cells ran.
+    std::snprintf(buf, sizeof(buf),
+                  "  \"warm_cache\": {\"enabled\": %s, "
+                  "\"program_builds\": %" PRIu64
+                  ", \"program_hits\": %" PRIu64
+                  ", \"snapshot_builds\": %" PRIu64
+                  ", \"snapshot_hits\": %" PRIu64
+                  ", \"cells_assembled\": %zu, "
+                  "\"cells_warmed\": %zu},\n",
+                  WarmStartCache::enabledFromEnv() ? "true" : "false",
+                  wc.programBuilds, wc.programHits, wc.snapshotBuilds,
+                  wc.snapshotHits, assembled, warmed);
     out << buf << "  \"cells\": [\n";
     for (size_t i = 0; i < ts.size(); ++i) {
         const CellTiming &t = ts[i];
         std::snprintf(buf, sizeof(buf),
                       "    {\"workload\": \"%s\", \"label\": \"%s\", "
                       "\"params_hash\": \"%016" PRIx64
-                      "\", \"wall_s\": %.6f, \"insts\": %" PRIu64
-                      ", \"mips\": %.3f, \"disk_cache\": %s}%s\n",
+                      "\", \"wall_s\": %.6f, \"setup_s\": %.6f, "
+                      "\"run_s\": %.6f, \"insts\": %" PRIu64
+                      ", \"mips\": %.3f, \"disk_cache\": %s, "
+                      "\"assembled\": %s, \"warmed\": %s}%s\n",
                       t.workload.c_str(), t.label.c_str(), t.paramsHash,
-                      t.wallSeconds, t.committedInsts, t.mips(),
+                      t.wallSeconds, t.setupSeconds, t.runSeconds,
+                      t.committedInsts, t.mips(),
                       t.fromDiskCache ? "true" : "false",
+                      t.assembled ? "true" : "false",
+                      t.warmed ? "true" : "false",
                       i + 1 < ts.size() ? "," : "");
         out << buf;
     }
@@ -658,6 +724,16 @@ SweepEngine::printSummary(std::FILE *out) const
         ts.size(), disk_hits, numJobs, wall, cpu,
         static_cast<double>(insts) / 1e6,
         wall > 0.0 ? static_cast<double>(insts) / wall / 1e6 : 0.0);
+    WarmStartCache::Counters wc = WarmStartCache::global().counters();
+    if (wc.programBuilds + wc.programHits + wc.snapshotBuilds +
+        wc.snapshotHits > 0) {
+        std::fprintf(out,
+                     "[sweep] warm-start cache: %" PRIu64
+                     " program build(s) / %" PRIu64 " hit(s), %" PRIu64
+                     " warmup snapshot(s) / %" PRIu64 " clone(s)\n",
+                     wc.programBuilds, wc.programHits,
+                     wc.snapshotBuilds, wc.snapshotHits);
+    }
     std::vector<CellFailure> fails = failures();
     if (!fails.empty()) {
         std::fprintf(out, "[sweep] %zu cell(s) FAILED:\n",

@@ -107,6 +107,16 @@ struct CellTiming
     uint64_t committedInsts = 0;
     bool fromDiskCache = false;
 
+    // Phase breakdown (zero for disk-cache hits): where the wall time
+    // went, and whether this cell paid the one-time assembly/warmup
+    // for its (workload, scale, warmup) key. With VPIR_WARM_CACHE=1,
+    // cells with assembled=true should equal the number of distinct
+    // keys in the sweep — that is the warm-start win, made auditable.
+    double setupSeconds = 0.0; //!< workload + core construction
+    double runSeconds = 0.0;   //!< timed simulation proper
+    bool assembled = false;    //!< this cell assembled the program
+    bool warmed = false;       //!< this cell executed the warmup
+
     double
     mips() const
     {
@@ -205,6 +215,10 @@ class SweepEngine
         CoreStats stats;
         std::string workloadInput; //!< Workload::input (for vpirsim)
         double wallSeconds = 0.0;
+        double setupSeconds = 0.0;
+        double runSeconds = 0.0;
+        bool asmBuilt = false;
+        bool warmBuilt = false;
         bool fromDiskCache = false;
         bool done = false;
         bool running = false;

@@ -122,6 +122,83 @@ TEST(EmuState, InitWritesAreNotJournaled)
     EXPECT_EQ(s.readMem(0x10, 4), 77u);
 }
 
+// ----------------------------------------------------- copy-on-write
+
+TEST(EmuStateCow, CloneSharesAllPages)
+{
+    EmuState s;
+    s.writeMem(0x1000, 4, 0xaabbccdd);
+    s.writeMem(0x5000, 4, 0x11223344);
+    s.retire(s.mark());
+    ASSERT_EQ(s.residentPages(), 2u);
+    EXPECT_EQ(s.sharedPages(), 0u);
+
+    EmuState clone = s;
+    // A clone is pointer copies, not data copies: every page shared.
+    EXPECT_EQ(clone.residentPages(), 2u);
+    EXPECT_EQ(s.sharedPages(), 2u);
+    EXPECT_EQ(clone.sharedPages(), 2u);
+    EXPECT_EQ(clone.readMem(0x1000, 4), 0xaabbccddu);
+    EXPECT_EQ(clone.readMem(0x5000, 4), 0x11223344u);
+    EXPECT_EQ(clone.cowFaults(), 0u);
+}
+
+TEST(EmuStateCow, WriteFaultsAPrivatePage)
+{
+    EmuState s;
+    s.writeMem(0x1000, 4, 0xaabbccdd);
+    s.writeMem(0x5000, 4, 0x11223344);
+    s.retire(s.mark());
+
+    EmuState clone = s;
+    clone.writeMem(0x1000, 4, 0xdeadbeef);
+    // Exactly the written page was cloned; the other stays shared.
+    EXPECT_EQ(clone.cowFaults(), 1u);
+    EXPECT_EQ(clone.sharedPages(), 1u);
+    EXPECT_EQ(s.sharedPages(), 1u);
+    EXPECT_EQ(clone.readMem(0x1000, 4), 0xdeadbeefu);
+    EXPECT_EQ(s.readMem(0x1000, 4), 0xaabbccddu); // original untouched
+    // Writing the same page again must not fault a second time.
+    clone.writeMem(0x1004, 4, 1);
+    EXPECT_EQ(clone.cowFaults(), 1u);
+}
+
+TEST(EmuStateCow, ReadsNeverFault)
+{
+    EmuState s;
+    s.writeMem(0x1000, 4, 42);
+    s.retire(s.mark());
+    EmuState clone = s;
+    EXPECT_EQ(clone.readMem(0x1000, 4), 42u);
+    EXPECT_EQ(clone.readMem(0x1ffc, 4), 0u); // same page, zero bytes
+    EXPECT_EQ(clone.cowFaults(), 0u);
+    EXPECT_EQ(s.sharedPages(), 1u);
+}
+
+TEST(EmuStateCow, JournalRollbackAcrossClone)
+{
+    // The journal must behave identically on a COW clone: speculative
+    // writes fault private pages, rollback restores the clone to the
+    // snapshot values, and the original never observes any of it.
+    EmuState s;
+    s.writeReg(5, 77);
+    s.writeMem(0x2000, 4, 0x1111);
+    s.retire(s.mark());
+
+    EmuState clone = s;
+    JournalMark m = clone.mark();
+    clone.writeReg(5, 88);
+    clone.writeMem(0x2000, 4, 0x2222);
+    clone.writeMem(0x9000, 4, 0x3333); // page the original never had
+    EXPECT_EQ(s.readMem(0x2000, 4), 0x1111u);
+    clone.rollback(m);
+    EXPECT_EQ(clone.readReg(5), 77u);
+    EXPECT_EQ(clone.readMem(0x2000, 4), 0x1111u);
+    EXPECT_EQ(clone.readMem(0x9000, 4), 0u);
+    EXPECT_EQ(s.readReg(5), 77u);
+    EXPECT_EQ(s.readMem(0x2000, 4), 0x1111u);
+}
+
 /**
  * Property test: against a reference model, random interleavings of
  * writes, rollbacks, and retires always restore the exact state.

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * WarmStartCache tests: exactly-once builds with pointer-identity
+ * hits, snapshots equivalent to a hand-run warmup, and end-to-end
+ * stats identity between cache-on and cache-off simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "emu/executor.hh"
+#include "sim/simulator.hh"
+#include "sim/warm_cache.hh"
+#include "sweep/stats_json.hh"
+
+using namespace vpir;
+
+namespace
+{
+
+/** setenv/unsetenv for the test's scope. */
+class EnvGuard
+{
+  public:
+    EnvGuard(const char *name, const std::string &value) : name_(name)
+    {
+        setenv(name, value.c_str(), 1);
+    }
+    ~EnvGuard() { unsetenv(name_); }
+
+  private:
+    const char *name_;
+};
+
+WorkloadScale
+scaleOf(double f)
+{
+    WorkloadScale sc;
+    sc.factor = f;
+    return sc;
+}
+
+TEST(WarmStartCache, ProgramBuiltOncePerKey)
+{
+    WarmStartCache &cache = WarmStartCache::global();
+    cache.clear();
+
+    bool built = false;
+    auto w1 = cache.workload("perl", scaleOf(0.25), &built);
+    ASSERT_TRUE(w1);
+    EXPECT_TRUE(built);
+    EXPECT_EQ(w1->name, "perl");
+
+    auto w2 = cache.workload("perl", scaleOf(0.25), &built);
+    EXPECT_FALSE(built);
+    EXPECT_EQ(w1.get(), w2.get()); // the very same object, not a copy
+
+    // A different scale is a different key.
+    auto w3 = cache.workload("perl", scaleOf(0.5), &built);
+    EXPECT_TRUE(built);
+    EXPECT_NE(w1.get(), w3.get());
+
+    WarmStartCache::Counters c = cache.counters();
+    EXPECT_EQ(c.programBuilds, 2u);
+    EXPECT_EQ(c.programHits, 1u);
+}
+
+TEST(WarmStartCache, SnapshotBuiltOncePerKey)
+{
+    WarmStartCache &cache = WarmStartCache::global();
+    cache.clear();
+
+    bool built = false;
+    auto s1 = cache.snapshot("compress", scaleOf(0.25), 1000, &built);
+    ASSERT_TRUE(s1);
+    EXPECT_TRUE(built);
+    EXPECT_EQ(s1->warmupInsts, 1000u);
+
+    auto s2 = cache.snapshot("compress", scaleOf(0.25), 1000, &built);
+    EXPECT_FALSE(built);
+    EXPECT_EQ(s1.get(), s2.get());
+
+    // A different warmup length is a different key over the same
+    // program (which is only assembled once).
+    auto s3 = cache.snapshot("compress", scaleOf(0.25), 2000, &built);
+    EXPECT_TRUE(built);
+    EXPECT_NE(s1.get(), s3.get());
+
+    WarmStartCache::Counters c = cache.counters();
+    EXPECT_EQ(c.programBuilds, 1u);
+    EXPECT_EQ(c.snapshotBuilds, 2u);
+    EXPECT_EQ(c.snapshotHits, 1u);
+}
+
+TEST(WarmStartCache, SnapshotMatchesHandRunWarmup)
+{
+    WarmStartCache &cache = WarmStartCache::global();
+    cache.clear();
+
+    constexpr uint64_t WARMUP = 5000;
+    auto cached = cache.snapshot("m88ksim", scaleOf(0.25), WARMUP);
+
+    Workload w = makeWorkload("m88ksim", scaleOf(0.25));
+    EmuSnapshot ref = makeWarmSnapshot(w.program, WARMUP);
+
+    ASSERT_TRUE(cached);
+    EXPECT_EQ(cached->pc, ref.pc);
+    EXPECT_EQ(cached->halted, ref.halted);
+    EXPECT_EQ(cached->warmupInsts, ref.warmupInsts);
+    for (RegId r = 0; r < NUM_ARCH_REGS; ++r)
+        ASSERT_EQ(cached->state.readReg(r), ref.state.readReg(r))
+            << "register " << static_cast<int>(r);
+    ASSERT_EQ(cached->state.residentPages(), ref.state.residentPages());
+}
+
+TEST(WarmStartCache, RunWorkloadIdenticalWithCacheOnAndOff)
+{
+    WarmStartCache::global().clear();
+
+    CoreParams cfg = withLimits(baseConfig(), 20000);
+    cfg.warmupInsts = 3000;
+
+    CoreStats cold, warm1, warm2;
+    {
+        EnvGuard off("VPIR_WARM_CACHE", "0");
+        cold = runWorkload("perl", cfg, scaleOf(0.25));
+    }
+    {
+        EnvGuard on("VPIR_WARM_CACHE", "1");
+        warm1 = runWorkload("perl", cfg, scaleOf(0.25)); // builds
+        warm2 = runWorkload("perl", cfg, scaleOf(0.25)); // clones
+    }
+    EXPECT_TRUE(sweep::statsEqual(cold, warm1));
+    EXPECT_TRUE(sweep::statsEqual(cold, warm2));
+    EXPECT_GT(cold.committedInsts, 0u);
+}
+
+TEST(WarmStartCache, WarmCoreIdenticalWithCheckerOn)
+{
+    // The lockstep checker replays retirement against an independent
+    // machine cloned from the same snapshot: a warm-start bug on
+    // either side diverges immediately.
+    WarmStartCache::global().clear();
+    CoreParams cfg = withLimits(baseConfig(), 20000);
+    cfg.warmupInsts = 3000;
+    cfg.checkRetire = true;
+
+    CoreStats cold, warm;
+    {
+        EnvGuard off("VPIR_WARM_CACHE", "0");
+        cold = runWorkload("compress", cfg, scaleOf(0.25));
+    }
+    {
+        EnvGuard on("VPIR_WARM_CACHE", "1");
+        warm = runWorkload("compress", cfg, scaleOf(0.25));
+    }
+    EXPECT_TRUE(sweep::statsEqual(cold, warm));
+    EXPECT_GT(warm.committedInsts, 0u);
+}
+
+TEST(WarmStartCache, ClearResetsEverything)
+{
+    WarmStartCache &cache = WarmStartCache::global();
+    cache.clear();
+    auto w1 = cache.workload("perl", scaleOf(0.25));
+    cache.clear();
+    WarmStartCache::Counters c = cache.counters();
+    EXPECT_EQ(c.programBuilds, 0u);
+    bool built = false;
+    auto w2 = cache.workload("perl", scaleOf(0.25), &built);
+    EXPECT_TRUE(built); // rebuilt from scratch
+    EXPECT_NE(w1.get(), w2.get());
+}
+
+} // anonymous namespace

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Warm-start sweep tests: a sweep's per-cell stats must be
+ * bit-identical with the warm-start cache on and off, in both the
+ * in-process and the forked-isolation execution modes; and with the
+ * cache on, assembly and warmup must happen exactly once per
+ * (workload, scale, warmup) key no matter how many cells share it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "sim/warm_cache.hh"
+#include "sweep/stats_json.hh"
+#include "sweep/sweep.hh"
+
+using namespace vpir;
+using namespace vpir::sweep;
+
+namespace
+{
+
+constexpr uint64_t TEST_INSTS = 20000;
+
+/** setenv/unsetenv for the test's scope (engines and cells read the
+ *  environment when they run, so ordering matters). */
+class EnvGuard
+{
+  public:
+    EnvGuard(const char *name, const std::string &value) : name_(name)
+    {
+        setenv(name, value.c_str(), 1);
+    }
+    ~EnvGuard() { unsetenv(name_); }
+
+  private:
+    const char *name_;
+};
+
+/** Three configs x two workloads: six cells over two warm-start keys
+ *  (all configs share the same warmup length). */
+std::vector<SweepCell>
+standardCells()
+{
+    WorkloadScale scale;
+    scale.factor = 0.25;
+    std::vector<CoreParams> cfgs = {
+        baseConfig(),
+        irConfig(),
+        vpConfig(VpScheme::Magic, ReexecPolicy::Multiple,
+                 BranchResolution::Speculative, 0),
+    };
+    std::vector<SweepCell> cells;
+    for (const std::string &w : {std::string("perl"),
+                                 std::string("compress")}) {
+        for (size_t i = 0; i < cfgs.size(); ++i) {
+            CoreParams p = withLimits(cfgs[i], TEST_INSTS);
+            p.warmupInsts = 2000;
+            cells.push_back(
+                SweepCell{w, "cfg" + std::to_string(i), p, scale});
+        }
+    }
+    return cells;
+}
+
+std::vector<CoreStats>
+runSweep(const std::vector<SweepCell> &cells, unsigned jobs)
+{
+    SweepEngine eng(jobs, "");
+    for (const SweepCell &c : cells)
+        eng.prefetch(c);
+    eng.drain();
+    std::vector<CoreStats> out;
+    for (const SweepCell &c : cells)
+        out.push_back(eng.get(c));
+    EXPECT_TRUE(eng.failures().empty());
+    return out;
+}
+
+void
+expectAllEqual(const std::vector<CoreStats> &a,
+               const std::vector<CoreStats> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_TRUE(statsEqual(a[i], b[i])) << "cell " << i;
+        EXPECT_GT(a[i].committedInsts, 0u) << "cell " << i;
+    }
+}
+
+TEST(WarmSweep, StatsIdenticalCacheOnVsOffInProcess)
+{
+    std::vector<SweepCell> cells = standardCells();
+    std::vector<CoreStats> off, on;
+    {
+        EnvGuard cache("VPIR_WARM_CACHE", "0");
+        off = runSweep(cells, 2);
+    }
+    {
+        EnvGuard cache("VPIR_WARM_CACHE", "1");
+        WarmStartCache::global().clear();
+        on = runSweep(cells, 2);
+    }
+    expectAllEqual(off, on);
+}
+
+TEST(WarmSweep, StatsIdenticalCacheOnVsOffIsolated)
+{
+    EnvGuard iso("VPIR_ISOLATE", "1");
+    std::vector<SweepCell> cells = standardCells();
+    std::vector<CoreStats> off, on;
+    {
+        EnvGuard cache("VPIR_WARM_CACHE", "0");
+        off = runSweep(cells, 2);
+    }
+    {
+        EnvGuard cache("VPIR_WARM_CACHE", "1");
+        WarmStartCache::global().clear();
+        on = runSweep(cells, 2);
+    }
+    expectAllEqual(off, on);
+}
+
+TEST(WarmSweep, BuildsExactlyOncePerKeyInProcess)
+{
+    EnvGuard cache("VPIR_WARM_CACHE", "1");
+    WarmStartCache::global().clear();
+
+    std::vector<SweepCell> cells = standardCells(); // 6 cells, 2 keys
+    SweepEngine eng(2, "");
+    for (const SweepCell &c : cells)
+        eng.prefetch(c);
+    eng.drain();
+
+    WarmStartCache::Counters c = WarmStartCache::global().counters();
+    EXPECT_EQ(c.programBuilds, 2u);
+    EXPECT_EQ(c.snapshotBuilds, 2u);
+    EXPECT_EQ(c.snapshotHits, 4u); // the other four cells cloned
+
+    // Per-cell attribution must agree: exactly one cell per key paid
+    // for the build, every cell has a phase breakdown.
+    std::vector<CellTiming> ts = eng.timings();
+    ASSERT_EQ(ts.size(), cells.size());
+    size_t assembled = 0, warmed = 0;
+    for (const CellTiming &t : ts) {
+        assembled += t.assembled ? 1 : 0;
+        warmed += t.warmed ? 1 : 0;
+        EXPECT_GT(t.runSeconds, 0.0);
+        EXPECT_GE(t.wallSeconds, t.setupSeconds + t.runSeconds - 1e-3);
+    }
+    EXPECT_EQ(assembled, 2u);
+    EXPECT_EQ(warmed, 2u);
+}
+
+TEST(WarmSweep, BuildsExactlyOncePerKeyIsolated)
+{
+    EnvGuard iso("VPIR_ISOLATE", "1");
+    EnvGuard cache("VPIR_WARM_CACHE", "1");
+    WarmStartCache::global().clear();
+
+    std::vector<SweepCell> cells = standardCells();
+    SweepEngine eng(2, "");
+    for (const SweepCell &c : cells)
+        eng.prefetch(c);
+    eng.drain();
+    EXPECT_TRUE(eng.failures().empty());
+
+    // The parent prewarms before forking, so the counters live in the
+    // parent and tell the same exactly-once story.
+    WarmStartCache::Counters c = WarmStartCache::global().counters();
+    EXPECT_EQ(c.programBuilds, 2u);
+    EXPECT_EQ(c.snapshotBuilds, 2u);
+
+    std::vector<CellTiming> ts = eng.timings();
+    ASSERT_EQ(ts.size(), cells.size());
+    size_t assembled = 0;
+    for (const CellTiming &t : ts)
+        assembled += t.assembled ? 1 : 0;
+    EXPECT_EQ(assembled, 2u);
+}
+
+TEST(WarmSweep, CacheOffCellsDoTheirOwnSetup)
+{
+    EnvGuard cache("VPIR_WARM_CACHE", "0");
+    WarmStartCache::global().clear();
+
+    std::vector<SweepCell> cells = standardCells();
+    SweepEngine eng(1, "");
+    for (const SweepCell &c : cells)
+        eng.prefetch(c);
+    eng.drain();
+
+    // No cache traffic at all...
+    WarmStartCache::Counters c = WarmStartCache::global().counters();
+    EXPECT_EQ(c.programBuilds + c.programHits + c.snapshotBuilds +
+                  c.snapshotHits,
+              0u);
+    // ...and every cell reports paying for its own assembly + warmup.
+    for (const CellTiming &t : eng.timings()) {
+        EXPECT_TRUE(t.assembled);
+        EXPECT_TRUE(t.warmed);
+    }
+}
+
+} // anonymous namespace
