@@ -27,6 +27,22 @@ class Rng
         next();
     }
 
+    /**
+     * Derive an independent stream seed from (seed, stream) with the
+     * splitmix64 finalizer. Consumers that fan work out across
+     * parallel units (e.g. one fuzz cell per sweep worker) seed each
+     * unit with split(base, index) so the draws a unit makes depend
+     * only on its index, never on worker count or execution order.
+     */
+    static uint64_t
+    split(uint64_t seed, uint64_t stream)
+    {
+        return mix64(seed ^ mix64(stream + 0x9e3779b97f4a7c15ull));
+    }
+
+    /** Convenience: generator for stream @p stream of seed @p seed. */
+    Rng(uint64_t seed, uint64_t stream) : Rng(split(seed, stream)) {}
+
     /** Next raw 64-bit value. */
     uint64_t
     next()
@@ -67,6 +83,18 @@ class Rng
     }
 
   private:
+    /** splitmix64 finalizer: a full-avalanche 64-bit mixing step. */
+    static uint64_t
+    mix64(uint64_t z)
+    {
+        z ^= z >> 30;
+        z *= 0xbf58476d1ce4e5b9ull;
+        z ^= z >> 27;
+        z *= 0x94d049bb133111ebull;
+        z ^= z >> 31;
+        return z;
+    }
+
     uint64_t state;
 };
 

@@ -39,6 +39,7 @@ Core::Core(const CoreParams &p, const Program &program,
     for (auto &r : regProducer)
         r = RobRef{};
     lsqXcheck = parseEnvU64("VPIR_LSQ_XCHECK", 0) != 0;
+    auditClobberCycle = parseEnvU64("VPIR_TEST_AUDIT_CLOBBER", UINT64_MAX);
 
     // One decode-table lookup per *static* instruction; the pipeline
     // reads the cached pointer for every dynamic instance.
@@ -976,6 +977,7 @@ Core::squashAfter(int slot, Addr redirect)
         y.valid = false;
         robTail = last;
         --robUsed;
+        ++auditSquashed;
     }
     while (!lsq.empty() &&
            (!refAlive(lsq.back().rob) || lsq.back().rob.seq > e.seq)) {
@@ -1249,6 +1251,8 @@ Core::commitStage()
             dcache.access(e.curMemAddr);
         }
 
+        if (params.auditInvariants)
+            auditCommit(e);
         if (checker)
             checkRetired(e);
         recordCommitStats(e);
@@ -1346,6 +1350,120 @@ Core::watchdogDump()
     panic(os.str());
 }
 
+// ------------------------------------------------------------- audits
+
+void
+Core::auditFail(const std::string &what) const
+{
+    panic("audit: " + what + " (cycle " + std::to_string(curCycle) +
+          ", committed " + std::to_string(st.committedInsts) + ")");
+}
+
+void
+Core::auditCommit(const RobEntry &e) const
+{
+    if (e.isHalt || e.cls == InstClass::Nop)
+        return;
+    // Late validation must have run its course: whatever value this
+    // instruction is retiring with — predicted, reused, or computed —
+    // has to equal its oracle execution along the fetched path. A
+    // difference here is a wrong value escaping to architectural
+    // state, the exact failure class VPIR_AUDIT exists to pin to a
+    // cycle.
+    if (producesResult(e.inst) && !e.isSt &&
+        e.curResult != e.exec.out.result) {
+        auditFail("committing seq " + std::to_string(e.seq) +
+                  " with an unvalidated " +
+                  (e.predicted ? std::string("predicted")
+                   : (e.reused || e.reusedLate)
+                       ? std::string("reused")
+                       : std::string("computed")) +
+                  " value (pc " + std::to_string(e.pc) + ", " +
+                  disassemble(e.inst) + ")");
+    }
+    if (producesResult(e.inst) && !e.isSt && e.curResult2Valid &&
+        e.inst.rd2 != REG_INVALID &&
+        e.curResult2 != e.exec.out.result2) {
+        auditFail("committing seq " + std::to_string(e.seq) +
+                  " with an unvalidated secondary value");
+    }
+    if (!e.finalized || e.finalizeAt > curCycle || e.inFlight)
+        auditFail("committing seq " + std::to_string(e.seq) +
+                  " before it finalized");
+}
+
+void
+Core::auditCycle() const
+{
+    // Occupancy bounds.
+    if (robUsed > params.robEntries)
+        auditFail("ROB occupancy above capacity");
+    if (lsq.size() > params.lsqEntries)
+        auditFail("LSQ occupancy above capacity");
+    if (fetchQueue.size() > params.fetchQueueSize)
+        auditFail("fetch queue above capacity");
+    if (storeQ.size() > lsq.size())
+        auditFail("store queue larger than the LSQ");
+    if (storeAddrPrefix > storeQ.size())
+        auditFail("store-address watermark beyond the store queue");
+
+    // Instruction conservation: every sequence number dispatch handed
+    // out is committed, squashed, or still live in the ROB.
+    uint64_t dispatched = nextSeq - 1;
+    if (dispatched != st.committedInsts + auditSquashed + robUsed) {
+        auditFail("conservation: dispatched " +
+                  std::to_string(dispatched) + " != committed " +
+                  std::to_string(st.committedInsts) + " + squashed " +
+                  std::to_string(auditSquashed) + " + in-flight " +
+                  std::to_string(robUsed));
+    }
+
+    // ROB walk: the ring's live window must be valid entries with
+    // strictly increasing sequence numbers and coherent flags.
+    uint64_t prev_seq = 0;
+    const char *rob_bad = nullptr;
+    forEachInOrder([&](int slot) {
+        const RobEntry &e = at(slot);
+        if (!e.valid)
+            rob_bad = "invalid entry inside the ROB's live window";
+        else if (e.seq <= prev_seq)
+            rob_bad = "ROB sequence numbers not strictly increasing";
+        else if (e.finalized && e.inFlight)
+            rob_bad = "entry both finalized and in flight";
+        else if (e.seq >= nextSeq)
+            rob_bad = "ROB entry with an unissued sequence number";
+        prev_seq = e.seq;
+        return rob_bad == nullptr;
+    });
+    if (rob_bad)
+        auditFail(rob_bad);
+
+    // Every LSQ/storeQ reference must point at a live ROB entry
+    // (commit pops the head, squash pops the dead suffix).
+    for (const LsqEntry &le : lsq) {
+        if (!refAlive(le.rob))
+            auditFail("LSQ entry references a dead ROB slot");
+    }
+    for (size_t i = 0; i < storeQ.size(); ++i) {
+        if (!refAlive(storeQ[i]))
+            auditFail("store queue references a dead ROB slot");
+        if (i < storeAddrPrefix && !at(storeQ[i].slot).storeAddrReady)
+            auditFail("address-unready store inside the watermark "
+                      "prefix");
+    }
+
+    // Periodic structure sweeps (O(entries), too hot for every cycle).
+    if ((curCycle & 0xfff) == 0) {
+        std::string w = rb.audit();
+        if (w.empty())
+            w = vptResult.audit();
+        if (w.empty())
+            w = vptAddr.audit();
+        if (!w.empty())
+            auditFail(w);
+    }
+}
+
 // ---------------------------------------------------------------- run
 
 bool
@@ -1370,6 +1488,11 @@ Core::cycle()
         } else if (curCycle - lastCommitCycle >= params.watchdogCycles) {
             watchdogDump();
         }
+    }
+    if (params.auditInvariants && !done) {
+        if (curCycle == auditClobberCycle)
+            ++st.committedInsts; // VPIR_TEST_AUDIT_CLOBBER: planted bug
+        auditCycle();
     }
     // Cooperative per-cell deadline (the sweep's in-process timeout
     // mode, VPIR_CELL_TIMEOUT_MS): polled every 16K cycles so the

@@ -264,6 +264,17 @@ class Core
     void checkRetired(const RobEntry &e);
     [[noreturn]] void watchdogDump();
 
+    // --- invariant audits (params.auditInvariants / VPIR_AUDIT) -----
+    /** End-of-cycle structural audit: instruction conservation,
+     *  occupancy bounds, ROB ordering, LSQ/storeQ liveness, and
+     *  (periodically) RB/VPT entry sanity. Panics at the cycle of
+     *  first corruption. */
+    void auditCycle() const;
+    /** Commit-side audit: no instruction may retire carrying an
+     *  unvalidated (wrong) predicted or reused value. */
+    void auditCommit(const RobEntry &e) const;
+    [[noreturn]] void auditFail(const std::string &what) const;
+
     // --- configuration / substrate ----------------------------------
     CoreParams params;
     const Program &prog;
@@ -314,6 +325,13 @@ class Core
     // Watchdog progress tracking.
     uint64_t lastCommitCycle = 0;
     uint64_t lastCommitInsts = 0;
+
+    /** Dispatched entries dropped by squashes, for the conservation
+     *  audit (dispatched == committed + squashed + in-ROB). */
+    uint64_t auditSquashed = 0;
+    /** VPIR_TEST_AUDIT_CLOBBER: cycle at which to deliberately break
+     *  a conservation law, proving the audit catches corruption. */
+    uint64_t auditClobberCycle = UINT64_MAX;
 
     CoreStats st;
 };

@@ -103,6 +103,12 @@ struct CoreParams
      *  where escapes must instead be caught by the retire checker. */
     bool irOracleCheck = true;
 
+    /** Audit pipeline invariants every cycle (instruction
+     *  conservation, ROB/LSQ occupancy bounds, no commit with an
+     *  unvalidated prediction, periodic RB/VPT entry sanity) and
+     *  panic at the cycle of first corruption. */
+    bool auditInvariants = false;
+
     /** Panic with a pipeline dump if no instruction commits for this
      *  many cycles (0 disables the watchdog). */
     uint64_t watchdogCycles = 0;

@@ -1,0 +1,233 @@
+#include "fuzz/program_io.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "isa/disasm.hh"
+
+namespace vpir
+{
+namespace fuzz
+{
+
+namespace
+{
+
+/** Reverse of opName(), built once over the whole opcode set. */
+const std::map<std::string, Op> &
+opTable()
+{
+    static const std::map<std::string, Op> table = [] {
+        std::map<std::string, Op> t;
+        for (unsigned i = 0; i < static_cast<unsigned>(Op::NUM_OPS); ++i) {
+            Op op = static_cast<Op>(i);
+            t.emplace(opName(op), op);
+        }
+        return t;
+    }();
+    return table;
+}
+
+std::string
+hex(uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** Split a line into whitespace-separated tokens, dropping any
+ *  trailing "# ..." comment. */
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> toks;
+    std::string cur;
+    for (char c : line) {
+        if (c == '#')
+            break;
+        if (c == ' ' || c == '\t') {
+            if (!cur.empty()) {
+                toks.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        toks.push_back(cur);
+    return toks;
+}
+
+bool
+parseU64(const std::string &s, uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(s.c_str(), &end, 0);
+    if (errno != 0 || end != s.c_str() + s.size())
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseI64(const std::string &s, int64_t &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    long long v = std::strtoll(s.c_str(), &end, 0);
+    if (errno != 0 || end != s.c_str() + s.size())
+        return false;
+    out = v;
+    return true;
+}
+
+int
+hexNibble(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    return -1;
+}
+
+} // anonymous namespace
+
+std::string
+programToText(const Program &p)
+{
+    std::ostringstream os;
+    os << "vpir-program v1\n";
+    os << "textbase " << hex(p.textBase) << "\n";
+    os << "entry " << hex(p.entry) << "\n";
+    os << "stacktop " << hex(p.stackTop) << "\n";
+    for (const Instr &in : p.text) {
+        os << "i " << opName(in.op)
+           << " " << static_cast<unsigned>(in.rd)
+           << " " << static_cast<unsigned>(in.rd2)
+           << " " << static_cast<unsigned>(in.rs)
+           << " " << static_cast<unsigned>(in.rt)
+           << " " << in.imm
+           << " " << hex(in.target)
+           << "  # " << disassemble(in) << "\n";
+    }
+    for (const auto &seg : p.dataInit) {
+        os << "data " << hex(seg.first) << " ";
+        static const char digits[] = "0123456789abcdef";
+        for (uint8_t b : seg.second) {
+            os << digits[b >> 4] << digits[b & 0xf];
+        }
+        os << "\n";
+    }
+    os << "end\n";
+    return os.str();
+}
+
+bool
+programFromText(const std::string &text, Program &out, std::string &err)
+{
+    Program p;
+    p.dataInit.clear();
+    bool sawHeader = false, sawEnd = false;
+    std::istringstream is(text);
+    std::string line;
+    unsigned lineNo = 0;
+
+    auto fail = [&](const std::string &what) {
+        err = "program text line " + std::to_string(lineNo) + ": " + what;
+        return false;
+    };
+
+    while (std::getline(is, line)) {
+        ++lineNo;
+        std::vector<std::string> t = tokenize(line);
+        if (t.empty())
+            continue;
+        if (!sawHeader) {
+            if (t.size() != 2 || t[0] != "vpir-program" || t[1] != "v1")
+                return fail("expected 'vpir-program v1' header");
+            sawHeader = true;
+            continue;
+        }
+        if (sawEnd)
+            return fail("content after 'end'");
+        uint64_t u;
+        if (t[0] == "textbase" || t[0] == "entry" || t[0] == "stacktop") {
+            if (t.size() != 2 || !parseU64(t[1], u) || u > UINT32_MAX)
+                return fail("bad " + t[0] + " line");
+            if (t[0] == "textbase")
+                p.textBase = static_cast<Addr>(u);
+            else if (t[0] == "entry")
+                p.entry = static_cast<Addr>(u);
+            else
+                p.stackTop = static_cast<Addr>(u);
+        } else if (t[0] == "i") {
+            if (t.size() != 8)
+                return fail("instruction line needs 7 fields");
+            auto it = opTable().find(t[1]);
+            if (it == opTable().end())
+                return fail("unknown opcode '" + t[1] + "'");
+            Instr in;
+            in.op = it->second;
+            uint64_t regs[4];
+            for (int k = 0; k < 4; ++k) {
+                if (!parseU64(t[2 + k], regs[k]) || regs[k] > 0xff)
+                    return fail("bad register field '" + t[2 + k] + "'");
+            }
+            in.rd = static_cast<RegId>(regs[0]);
+            in.rd2 = static_cast<RegId>(regs[1]);
+            in.rs = static_cast<RegId>(regs[2]);
+            in.rt = static_cast<RegId>(regs[3]);
+            int64_t imm;
+            if (!parseI64(t[6], imm) || imm < INT32_MIN || imm > INT32_MAX)
+                return fail("bad immediate '" + t[6] + "'");
+            in.imm = static_cast<int32_t>(imm);
+            if (!parseU64(t[7], u) || u > UINT32_MAX)
+                return fail("bad target '" + t[7] + "'");
+            in.target = static_cast<Addr>(u);
+            p.text.push_back(in);
+        } else if (t[0] == "data") {
+            if (t.size() != 3 || !parseU64(t[1], u) || u > UINT32_MAX)
+                return fail("bad data line");
+            const std::string &hx = t[2];
+            if (hx.size() % 2)
+                return fail("odd hex digit count in data line");
+            std::vector<uint8_t> bytes;
+            bytes.reserve(hx.size() / 2);
+            for (size_t i = 0; i < hx.size(); i += 2) {
+                int hi = hexNibble(hx[i]), lo = hexNibble(hx[i + 1]);
+                if (hi < 0 || lo < 0)
+                    return fail("bad hex digit in data line");
+                bytes.push_back(static_cast<uint8_t>((hi << 4) | lo));
+            }
+            p.dataInit.emplace_back(static_cast<Addr>(u), std::move(bytes));
+        } else if (t[0] == "end") {
+            sawEnd = true;
+        } else {
+            return fail("unknown directive '" + t[0] + "'");
+        }
+    }
+    if (!sawHeader)
+        return fail("missing 'vpir-program v1' header");
+    if (!sawEnd)
+        return fail("missing 'end' line");
+    if (p.text.empty())
+        return fail("program has no instructions");
+    out = std::move(p);
+    err.clear();
+    return true;
+}
+
+} // namespace fuzz
+} // namespace vpir

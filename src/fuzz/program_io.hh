@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Exact, line-based serialization of assembled programs.
+ *
+ * Repro bundles must replay byte-identically years later, so the
+ * serialized form is the *pre-decoded* Program — one line per Instr
+ * field tuple plus the raw data image — rather than assembly source,
+ * which would need a full parser and could drift with pseudo-op
+ * expansion. Round-tripping is exact: parse(emit(p)) == p field by
+ * field, and emit(parse(t)) == t for canonical text.
+ */
+
+#ifndef VPIR_FUZZ_PROGRAM_IO_HH
+#define VPIR_FUZZ_PROGRAM_IO_HH
+
+#include <string>
+
+#include "asm/assembler.hh"
+
+namespace vpir
+{
+namespace fuzz
+{
+
+/** Serialize @p p to the "vpir-program v1" text form. Each
+ *  instruction line carries a trailing "# disasm" comment. */
+std::string programToText(const Program &p);
+
+/** Parse text produced by programToText. @return false (with @p err
+ *  set) on any malformed line; @p out is untouched on failure. */
+bool programFromText(const std::string &text, Program &out,
+                     std::string &err);
+
+} // namespace fuzz
+} // namespace vpir
+
+#endif // VPIR_FUZZ_PROGRAM_IO_HH

@@ -1,0 +1,382 @@
+#include "fuzz/repro.hh"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "fuzz/program_io.hh"
+#include "sweep/params_json.hh"
+#include "sweep/stats_json.hh"
+
+namespace vpir
+{
+namespace fuzz
+{
+
+namespace
+{
+
+constexpr const char *FORMAT = "vpir-repro v1";
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+/** Find "key" at top level and return the raw value text: a quoted
+ *  string (unescaped into @p out), a number, or a {...} object. */
+bool
+extractString(const std::string &s, const char *key, std::string &out)
+{
+    std::string needle = std::string("\"") + key + "\"";
+    size_t pos = s.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    pos += needle.size();
+    while (pos < s.size() &&
+           (s[pos] == ':' ||
+            std::isspace(static_cast<unsigned char>(s[pos]))))
+        ++pos;
+    if (pos >= s.size() || s[pos] != '"')
+        return false;
+    ++pos;
+    out.clear();
+    while (pos < s.size() && s[pos] != '"') {
+        char c = s[pos];
+        if (c == '\\' && pos + 1 < s.size()) {
+            char e = s[pos + 1];
+            pos += 2;
+            switch (e) {
+              case 'n':
+                out += '\n';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case 'u': {
+                if (pos + 4 > s.size())
+                    return false;
+                unsigned v = 0;
+                for (int k = 0; k < 4; ++k) {
+                    char h = s[pos + k];
+                    v <<= 4;
+                    if (h >= '0' && h <= '9')
+                        v |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        v |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        v |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return false;
+                }
+                pos += 4;
+                out += static_cast<char>(v & 0xff);
+                break;
+              }
+              default:
+                return false;
+            }
+        } else {
+            out += c;
+            ++pos;
+        }
+    }
+    return pos < s.size();
+}
+
+bool
+extractU64(const std::string &s, const char *key, uint64_t &out)
+{
+    std::string needle = std::string("\"") + key + "\"";
+    size_t pos = s.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    pos += needle.size();
+    while (pos < s.size() &&
+           (s[pos] == ':' ||
+            std::isspace(static_cast<unsigned char>(s[pos]))))
+        ++pos;
+    if (pos >= s.size() ||
+        !std::isdigit(static_cast<unsigned char>(s[pos])))
+        return false;
+    uint64_t v = 0;
+    while (pos < s.size() &&
+           std::isdigit(static_cast<unsigned char>(s[pos]))) {
+        v = v * 10 + static_cast<uint64_t>(s[pos] - '0');
+        ++pos;
+    }
+    out = v;
+    return true;
+}
+
+/** Extract the balanced {...} object value of @p key. */
+bool
+extractObject(const std::string &s, const char *key, std::string &out)
+{
+    std::string needle = std::string("\"") + key + "\"";
+    size_t pos = s.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    pos += needle.size();
+    while (pos < s.size() &&
+           (s[pos] == ':' ||
+            std::isspace(static_cast<unsigned char>(s[pos]))))
+        ++pos;
+    if (pos >= s.size() || s[pos] != '{')
+        return false;
+    size_t start = pos;
+    int depth = 0;
+    bool in_str = false;
+    for (; pos < s.size(); ++pos) {
+        char c = s[pos];
+        if (in_str) {
+            if (c == '\\')
+                ++pos;
+            else if (c == '"')
+                in_str = false;
+            continue;
+        }
+        if (c == '"')
+            in_str = true;
+        else if (c == '{')
+            ++depth;
+        else if (c == '}' && --depth == 0) {
+            out = s.substr(start, pos - start + 1);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+hex16(uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+captureHardeningEnv()
+{
+    static const char *const knobs[] = {
+        "VPIR_CHECK",           "VPIR_AUDIT",
+        "VPIR_WATCHDOG_CYCLES", "VPIR_FAULT_SEED",
+        "VPIR_FAULT_VPT_VALUE", "VPIR_FAULT_VPT_CONF",
+        "VPIR_FAULT_RB_OPERAND", "VPIR_FAULT_RB_RESULT",
+        "VPIR_FAULT_RB_LINK",   "VPIR_FAULT_RB_DROPINV",
+        "VPIR_FUZZ_SEED",       "VPIR_FUZZ_CELLS",
+    };
+    std::string out;
+    for (const char *k : knobs) {
+        const char *v = std::getenv(k);
+        if (!v)
+            continue;
+        if (!out.empty())
+            out += " ";
+        out += std::string(k) + "=" + v;
+    }
+    return out;
+}
+
+std::string
+bundleToJson(const ReproBundle &b)
+{
+    std::string text =
+        b.programText.empty() ? programToText(b.program) : b.programText;
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"format\": \"" << FORMAT << "\",\n"
+        << "  \"stats_schema\": \""
+        << hex16(sweep::statsSchemaFingerprint()) << "\",\n"
+        << "  \"params_schema\": \""
+        << hex16(sweep::paramsSchemaFingerprint()) << "\",\n"
+        << "  \"generator_revision\": " << b.generatorRevision << ",\n"
+        << "  \"seed\": " << b.seed << ",\n"
+        << "  \"workload\": \"" << jsonEscape(b.workload) << "\",\n"
+        << "  \"kind\": \"" << jsonEscape(b.kind) << "\",\n"
+        << "  \"detail\": \"" << jsonEscape(b.detail) << "\",\n"
+        << "  \"env\": \"" << jsonEscape(b.env) << "\",\n"
+        << "  \"params\": " << sweep::paramsToJson(b.params) << ",\n"
+        << "  \"program\": \"" << jsonEscape(text) << "\"\n"
+        << "}\n";
+    return out.str();
+}
+
+bool
+bundleFromJson(const std::string &json, ReproBundle &out,
+               std::string &err)
+{
+    std::string fmt;
+    if (!extractString(json, "format", fmt) || fmt != FORMAT) {
+        err = "not a " + std::string(FORMAT) + " bundle (format: '" +
+              fmt + "')";
+        return false;
+    }
+    std::string sfp, pfp;
+    if (!extractString(json, "stats_schema", sfp) ||
+        !extractString(json, "params_schema", pfp)) {
+        err = "bundle is missing its schema fingerprints";
+        return false;
+    }
+    if (sfp != hex16(sweep::statsSchemaFingerprint())) {
+        err = "stats-schema fingerprint mismatch: bundle " + sfp +
+              ", this binary " +
+              hex16(sweep::statsSchemaFingerprint()) +
+              " — the bundle was produced by an incompatible build; "
+              "refusing to replay";
+        return false;
+    }
+    if (pfp != hex16(sweep::paramsSchemaFingerprint())) {
+        err = "params-schema fingerprint mismatch: bundle " + pfp +
+              ", this binary " +
+              hex16(sweep::paramsSchemaFingerprint()) +
+              " — the bundle was produced by an incompatible build; "
+              "refusing to replay";
+        return false;
+    }
+
+    ReproBundle b;
+    extractU64(json, "generator_revision", b.generatorRevision);
+    extractU64(json, "seed", b.seed);
+    extractString(json, "workload", b.workload);
+    if (!extractString(json, "kind", b.kind)) {
+        err = "bundle has no expected divergence kind";
+        return false;
+    }
+    extractString(json, "detail", b.detail);
+    extractString(json, "env", b.env);
+
+    std::string pjson;
+    if (!extractObject(json, "params", pjson) ||
+        !sweep::paramsFromJson(pjson, b.params)) {
+        err = "bundle params object is missing or malformed";
+        return false;
+    }
+    if (!extractString(json, "program", b.programText)) {
+        err = "bundle has no program text";
+        return false;
+    }
+    std::string perr;
+    if (!programFromText(b.programText, b.program, perr)) {
+        err = "bundle program does not parse: " + perr;
+        return false;
+    }
+    out = std::move(b);
+    return true;
+}
+
+bool
+writeReproBundle(const ReproBundle &b, const std::string &path,
+                 std::string &err)
+{
+    std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream f(tmp, std::ios::trunc);
+        if (!f) {
+            err = "cannot open " + tmp + " for writing";
+            return false;
+        }
+        f << bundleToJson(b);
+        f.flush();
+        if (!f) {
+            err = "short write to " + tmp;
+            return false;
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        err = "cannot publish " + path + ": " + ec.message();
+        std::filesystem::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+bool
+loadReproBundle(const std::string &path, ReproBundle &out,
+                std::string &err)
+{
+    std::ifstream f(path);
+    if (!f) {
+        err = "cannot read repro bundle '" + path + "'";
+        return false;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return bundleFromJson(ss.str(), out, err);
+}
+
+DiffOutcome
+replayBundle(const ReproBundle &b)
+{
+    return runDifferential(b.program, b.params);
+}
+
+unsigned
+scrubStaleReproTmp(const std::string &dir)
+{
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec), end;
+    unsigned scrubbed = 0;
+    for (; !ec && it != end; it.increment(ec)) {
+        if (it->path().filename().string().find(".repro.json.tmp.") ==
+            std::string::npos)
+            continue;
+        std::error_code rm_ec;
+        if (std::filesystem::remove(it->path(), rm_ec))
+            ++scrubbed;
+    }
+    return scrubbed;
+}
+
+} // namespace fuzz
+} // namespace vpir

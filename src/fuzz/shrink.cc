@@ -1,0 +1,161 @@
+#include "fuzz/shrink.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace vpir
+{
+namespace fuzz
+{
+
+namespace
+{
+
+bool
+isNop(const Instr &i)
+{
+    return i.op == Op::NOP;
+}
+
+/** NOP out every instruction whose text index is in @p kill. */
+Program
+withNops(const Program &base, const std::vector<size_t> &kill)
+{
+    Program p = base;
+    for (size_t idx : kill)
+        p.text[idx] = Instr{}; // default-constructed == NOP
+    return p;
+}
+
+} // namespace
+
+size_t
+countActiveInstrs(const Program &program)
+{
+    size_t n = 0;
+    for (const Instr &i : program.text)
+        if (!isNop(i))
+            ++n;
+    return n;
+}
+
+ShrinkResult
+shrinkFailure(const Program &program, const CoreParams &params,
+              const DiffOutcome &failure, const ShrinkOptions &opt)
+{
+    ShrinkResult res;
+    res.program = program;
+    res.params = params;
+    res.outcome = failure;
+    res.instrsBefore = countActiveInstrs(program);
+
+    const std::string kind = failure.kind;
+    auto stillFails = [&](const Program &cand,
+                          const CoreParams &p) -> bool {
+        if (res.evals >= opt.maxEvals)
+            return false;
+        ++res.evals;
+        DiffOutcome d = runDifferential(cand, p);
+        if (d.diverged && d.kind == kind) {
+            res.outcome = d;
+            return true;
+        }
+        return false;
+    };
+
+    // Phase 1 — canonicalize the fault cocktail so the repro is sharp:
+    // each armed rate becomes 0 if the failure survives without it,
+    // else 1 (fires on every opportunity) if that preserves the kind.
+    {
+        double *rates[] = {
+            &res.params.faults.vptValueRate,
+            &res.params.faults.vptConfRate,
+            &res.params.faults.rbOperandRate,
+            &res.params.faults.rbResultRate,
+            &res.params.faults.rbLinkRate,
+            &res.params.faults.rbDropInvRate,
+        };
+        for (double *rate : rates) {
+            if (*rate <= 0.0)
+                continue;
+            double orig = *rate;
+            *rate = 0.0;
+            if (stillFails(res.program, res.params))
+                continue;
+            *rate = 1.0;
+            if (stillFails(res.program, res.params))
+                continue;
+            *rate = orig;
+        }
+    }
+
+    // Phase 2 — ddmin over the instructions that still do something.
+    // "Removing" an instruction means NOPping it in place: every PC,
+    // branch offset, and jump target stays valid, so any subset is a
+    // well-formed program. HALTs are pinned (termination must remain
+    // reachable; a candidate that loops forever trips the watchdog or
+    // a cap and simply fails the predicate).
+    std::vector<size_t> active;
+    for (size_t i = 0; i < res.program.text.size(); ++i) {
+        const Instr &inst = res.program.text[i];
+        if (!isNop(inst) && inst.op != Op::HALT)
+            active.push_back(i);
+    }
+
+    size_t n = 2;
+    while (active.size() >= 2 && res.evals < opt.maxEvals) {
+        bool reduced = false;
+        size_t chunk = (active.size() + n - 1) / n;
+
+        // Try keeping only one chunk (NOP the complement)...
+        for (size_t c = 0; c < n && !reduced; ++c) {
+            size_t lo = c * chunk;
+            size_t hi = std::min(lo + chunk, active.size());
+            if (lo >= hi || hi - lo == active.size())
+                continue;
+            std::vector<size_t> kill;
+            kill.reserve(active.size() - (hi - lo));
+            for (size_t k = 0; k < active.size(); ++k)
+                if (k < lo || k >= hi)
+                    kill.push_back(active[k]);
+            Program cand = withNops(res.program, kill);
+            if (stillFails(cand, res.params)) {
+                res.program = std::move(cand);
+                active.assign(active.begin() + lo, active.begin() + hi);
+                n = 2;
+                reduced = true;
+            }
+        }
+        if (reduced)
+            continue;
+
+        // ...then NOPping one chunk at a time.
+        for (size_t c = 0; c < n && !reduced; ++c) {
+            size_t lo = c * chunk;
+            size_t hi = std::min(lo + chunk, active.size());
+            if (lo >= hi || hi - lo == active.size())
+                continue;
+            std::vector<size_t> kill(active.begin() + lo,
+                                     active.begin() + hi);
+            Program cand = withNops(res.program, kill);
+            if (stillFails(cand, res.params)) {
+                res.program = std::move(cand);
+                active.erase(active.begin() + lo, active.begin() + hi);
+                n = std::max<size_t>(n - 1, 2);
+                reduced = true;
+            }
+        }
+        if (reduced)
+            continue;
+
+        if (n >= active.size())
+            break;
+        n = std::min(n * 2, active.size());
+    }
+
+    res.instrsAfter = countActiveInstrs(res.program);
+    return res;
+}
+
+} // namespace fuzz
+} // namespace vpir

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Delta-debugging shrinker for failing differential runs. Minimizes a
+ * failing program by NOP-substitution (PCs and branch targets stay
+ * valid by construction) and canonicalizes the fault cocktail, under
+ * the predicate "the divergence KIND is preserved" — details (cycle
+ * numbers, checksums) legitimately drift as the program shrinks, the
+ * failure class must not.
+ */
+
+#ifndef VPIR_FUZZ_SHRINK_HH
+#define VPIR_FUZZ_SHRINK_HH
+
+#include <cstdint>
+
+#include "fuzz/differential.hh"
+
+namespace vpir
+{
+namespace fuzz
+{
+
+struct ShrinkOptions
+{
+    /** Hard cap on differential re-runs; the shrinker returns its
+     *  best-so-far when exhausted. */
+    uint64_t maxEvals = 4000;
+};
+
+struct ShrinkResult
+{
+    Program program;     //!< minimized program (NOPs left in place)
+    CoreParams params;   //!< canonicalized configuration
+    DiffOutcome outcome; //!< divergence of the minimized case
+    uint64_t evals = 0;  //!< differential runs spent
+    size_t instrsBefore = 0; //!< non-NOP instructions going in
+    size_t instrsAfter = 0;  //!< non-NOP instructions coming out
+};
+
+/** Count the instructions that still do something. */
+size_t countActiveInstrs(const Program &program);
+
+/**
+ * Shrink @p program / @p params to a minimal case that still diverges
+ * with the same kind as @p failure. Deterministic.
+ */
+ShrinkResult shrinkFailure(const Program &program,
+                           const CoreParams &params,
+                           const DiffOutcome &failure,
+                           const ShrinkOptions &opt = {});
+
+} // namespace fuzz
+} // namespace vpir
+
+#endif // VPIR_FUZZ_SHRINK_HH

@@ -268,4 +268,57 @@ ReuseBuffer::instancesFor(Addr pc) const
     return n;
 }
 
+std::string
+ReuseBuffer::audit() const
+{
+    size_t expect_regs = 0;
+    for (size_t i = 0; i < entries.size(); ++i) {
+        const Entry &e = entries[i];
+        if (!e.valid)
+            continue;
+        std::string at = "RB entry " + std::to_string(i) + " (pc " +
+                         std::to_string(e.pc) + "): ";
+        if (e.isLd != isLoad(e.op))
+            return at + "cached isLd disagrees with opcode";
+        if (e.memSz != memSize(e.op))
+            return at + "cached memSz disagrees with opcode";
+        if (e.serial == 0 || e.serial >= nextSerial)
+            return at + "serial outside the issued range";
+        if (setIndex(e.pc) != static_cast<uint32_t>(i) / params.ways)
+            return at + "entry outside its PC's set";
+        if (e.isLd) {
+            // Every covered word must index back to this entry,
+            // exactly once.
+            for (Addr a = e.memAddr & ~3u; a < e.memAddr + e.memSz;
+                 a += 4) {
+                ++expect_regs;
+                auto it = loadIndex.find(a);
+                unsigned hits = 0;
+                if (it != loadIndex.end()) {
+                    for (int idx : it->second) {
+                        if (idx == static_cast<int>(i))
+                            ++hits;
+                    }
+                }
+                if (hits != 1) {
+                    return at + "load registered " +
+                           std::to_string(hits) +
+                           " times for a covered word";
+                }
+            }
+        }
+    }
+    // No stale registrations: the index holds exactly the valid load
+    // entries' covered words, nothing else.
+    size_t total_regs = 0;
+    for (const auto &kv : loadIndex)
+        total_regs += kv.second.size();
+    if (total_regs != expect_regs) {
+        return "RB load index holds " + std::to_string(total_regs) +
+               " registrations, entries imply " +
+               std::to_string(expect_regs);
+    }
+    return "";
+}
+
 } // namespace vpir

@@ -136,6 +136,16 @@ class ReuseBuffer
     /** Number of valid entries holding @p pc (test hook). */
     unsigned instancesFor(Addr pc) const;
 
+    /**
+     * Structural sanity sweep for VPIR_AUDIT: cached decode bits
+     * match the opcode, serials are in range, entries sit in the set
+     * their PC indexes to, and the load index and the entry array
+     * agree bidirectionally. @return "" when clean, else a
+     * description of the first violation. Does not inspect values:
+     * injected value faults must stay invisible to the audit.
+     */
+    std::string audit() const;
+
   private:
     struct Operand
     {

@@ -74,6 +74,8 @@ void
 applyHardeningEnv(CoreParams &p)
 {
     p.checkRetire = parseEnvU64("VPIR_CHECK", p.checkRetire ? 1 : 0) != 0;
+    p.auditInvariants =
+        parseEnvU64("VPIR_AUDIT", p.auditInvariants ? 1 : 0) != 0;
     // Checked runs get a progress watchdog by default: a deadlocked
     // pipeline would otherwise spin to maxCycles silently.
     uint64_t wd_default = p.checkRetire ? 100000 : p.watchdogCycles;

@@ -18,6 +18,7 @@
 #include "common/deadline.hh"
 #include "common/env.hh"
 #include "common/logging.hh"
+#include "fuzz/generator.hh"
 #include "sim/simulator.hh"
 #include "sim/warm_cache.hh"
 #include "sweep/stats_json.hh"
@@ -54,6 +55,29 @@ signalName(int sig)
     }
 }
 
+/** Reproducibility tail for cell failure reports: the active fault
+ *  seed and, for generated fuzz programs, the generator seed and
+ *  revision — enough to re-create a crashed cell without its repro
+ *  bundle. */
+std::string
+cellReproInfo(const SweepCell &cell)
+{
+    std::string s;
+    char hex[20];
+    if (cell.params.faults.any()) {
+        std::snprintf(hex, sizeof(hex), "0x%016" PRIx64,
+                      cell.params.faults.seed);
+        s += std::string(" fault_seed=") + hex;
+    }
+    if (fuzz::isFuzzWorkloadName(cell.workload)) {
+        std::snprintf(hex, sizeof(hex), "0x%016" PRIx64,
+                      fuzz::fuzzSeedFromName(cell.workload));
+        s += std::string(" fuzz_seed=") + hex +
+             " gen_rev=" + std::to_string(fuzz::GENERATOR_REVISION);
+    }
+    return s;
+}
+
 // --------------------------------------------------- in-process attempt
 
 CellOutcome
@@ -69,7 +93,7 @@ computeCellOnce(const SweepCell &cell, uint64_t timeout_ms,
     PanicThrowScope throw_scope;
     PanicContext cell_frame([&cell, &phex] {
         return "sweep cell workload=" + cell.workload + " label=" +
-               cell.label + " params=" + phex;
+               cell.label + " params=" + phex + cellReproInfo(cell);
     });
     CellDeadlineScope deadline(timeout_ms);
 
@@ -470,14 +494,18 @@ runCellIsolated(const SweepCell &cell, const IsolationConfig &cfg,
         out.error = "cell deadline exceeded (VPIR_CELL_TIMEOUT_MS=" +
                     std::to_string(cfg.timeoutMs) +
                     "): isolated worker killed with SIGKILL" +
-                    stderrTail(errText);
+                    cellReproInfo(cell) + stderrTail(errText);
     } else if (WIFSIGNALED(status)) {
+        // The child died before it could attach its PanicContext
+        // frames to anything, so the reproducibility info must be
+        // synthesized here in the parent.
         out.error = "isolated cell worker killed by " +
-                    signalName(WTERMSIG(status)) + stderrTail(errText);
+                    signalName(WTERMSIG(status)) + cellReproInfo(cell) +
+                    stderrTail(errText);
     } else if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
         out.error = "isolated cell worker exited with code " +
                     std::to_string(WEXITSTATUS(status)) +
-                    stderrTail(errText);
+                    cellReproInfo(cell) + stderrTail(errText);
     } else {
         out.error =
             "isolated cell worker returned a truncated result payload" +

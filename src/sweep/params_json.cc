@@ -1,0 +1,102 @@
+#include "sweep/params_json.hh"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+namespace vpir
+{
+namespace sweep
+{
+
+uint64_t
+paramsSchemaFingerprint()
+{
+    static const uint64_t fp = [] {
+        constexpr uint64_t FNV_OFFSET = 0xcbf29ce484222325ull;
+        constexpr uint64_t FNV_PRIME = 0x100000001b3ull;
+        uint64_t h = FNV_OFFSET;
+        CoreParams tmp;
+        forEachParamField(tmp, [&](const char *name, uint64_t &) {
+            for (const char *c = name; *c; ++c) {
+                h ^= static_cast<unsigned char>(*c);
+                h *= FNV_PRIME;
+            }
+            h ^= '\n';
+            h *= FNV_PRIME;
+        });
+        return h;
+    }();
+    return fp;
+}
+
+std::string
+paramsToJson(const CoreParams &p)
+{
+    CoreParams tmp = p; // the visitor writes back; a copy keeps p const
+    std::string out = "{";
+    bool first = true;
+    forEachParamField(tmp, [&](const char *name, uint64_t &v) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "%s\"%s\": %" PRIu64,
+                      first ? "" : ", ", name, v);
+        out += buf;
+        first = false;
+    });
+    out += "}";
+    return out;
+}
+
+namespace
+{
+
+bool
+lookupField(const std::string &s, const char *name, uint64_t &out)
+{
+    std::string needle = std::string("\"") + name + "\"";
+    size_t pos = s.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    pos += needle.size();
+    while (pos < s.size() &&
+           (s[pos] == ':' ||
+            std::isspace(static_cast<unsigned char>(s[pos]))))
+        ++pos;
+    if (pos >= s.size() ||
+        !std::isdigit(static_cast<unsigned char>(s[pos])))
+        return false;
+    uint64_t v = 0;
+    while (pos < s.size() &&
+           std::isdigit(static_cast<unsigned char>(s[pos]))) {
+        v = v * 10 + static_cast<uint64_t>(s[pos] - '0');
+        ++pos;
+    }
+    out = v;
+    return true;
+}
+
+} // anonymous namespace
+
+bool
+paramsFromJson(const std::string &json, CoreParams &out)
+{
+    CoreParams tmp;
+    bool ok = true;
+    forEachParamField(tmp, [&](const char *name, uint64_t &v) {
+        if (!lookupField(json, name, v))
+            ok = false;
+    });
+    if (!ok)
+        return false;
+    out = tmp;
+    return true;
+}
+
+bool
+paramsEqual(const CoreParams &a, const CoreParams &b)
+{
+    return paramsToJson(a) == paramsToJson(b);
+}
+
+} // namespace sweep
+} // namespace vpir

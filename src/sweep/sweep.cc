@@ -133,6 +133,7 @@ hashParams(const CoreParams &p)
     mix(h, p.warmupInsts);
     mix(h, p.checkRetire ? 1 : 0);
     mix(h, p.irOracleCheck ? 1 : 0);
+    mix(h, p.auditInvariants ? 1 : 0);
     mix(h, p.watchdogCycles);
     mix(h, p.faults.seed);
     auto mixDouble = [&h](double d) {

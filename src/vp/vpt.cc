@@ -177,4 +177,24 @@ Vpt::instancesFor(Addr pc) const
     return n;
 }
 
+std::string
+Vpt::audit() const
+{
+    for (uint32_t s = 0; s < numSets; ++s) {
+        for (const Entry &e : sets[s]) {
+            if (!e.valid)
+                continue;
+            if (setIndex(e.pc) != s) {
+                return "VPT entry for pc " + std::to_string(e.pc) +
+                       " outside its PC's set";
+            }
+            if (e.conf.value() > e.conf.max()) {
+                return "VPT entry for pc " + std::to_string(e.pc) +
+                       " confidence above saturation";
+            }
+        }
+    }
+    return "";
+}
+
 } // namespace vpir

@@ -83,6 +83,11 @@ class Vpt
     /** Number of valid entries holding @p pc (test hook). */
     unsigned instancesFor(Addr pc) const;
 
+    /** Structural sanity sweep for VPIR_AUDIT: every valid entry
+     *  sits in the set its PC indexes to and its confidence is
+     *  within the counter's range. @return "" when clean. */
+    std::string audit() const;
+
   private:
     struct Entry
     {

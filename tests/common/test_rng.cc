@@ -88,3 +88,39 @@ TEST(Rng, UniformInUnitInterval)
     }
     EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
 }
+
+TEST(Rng, SplitStreamsAreDeterministic)
+{
+    EXPECT_EQ(Rng::split(42, 7), Rng::split(42, 7));
+    Rng a(42, 7), b(42, 7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SplitStreamsAreIndependent)
+{
+    // Distinct streams of one seed, and the same stream of distinct
+    // seeds, must all decorrelate.
+    std::set<uint64_t> seeds;
+    for (uint64_t s = 0; s < 64; ++s) {
+        seeds.insert(Rng::split(42, s));
+        seeds.insert(Rng::split(43, s));
+    }
+    EXPECT_EQ(seeds.size(), 128u);
+
+    Rng a(9, 0), b(9, 1);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, StreamConstructorMatchesSplit)
+{
+    Rng direct(Rng::split(1234, 56));
+    Rng streamed(1234, 56);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(direct.next(), streamed.next());
+}

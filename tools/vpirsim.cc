@@ -21,6 +21,10 @@
  *                           hang is reported instead of inherited
  *     --timeout-ms N        per-cell wall-clock deadline
  *                           (VPIR_CELL_TIMEOUT_MS)
+ *     --repro BUNDLE.json   replay a fuzz repro bundle instead of a
+ *                           workload: re-run its program under its
+ *                           exact configuration and verify the bundled
+ *                           divergence reproduces (exit 0 iff it does)
  *
  * Runs go through the sweep engine, so VPIR_RESULT_CACHE=<dir> makes
  * repeated invocations with identical parameters instant. Host wall
@@ -34,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "fuzz/repro.hh"
 #include "sim/simulator.hh"
 #include "sweep/sweep.hh"
 
@@ -51,8 +56,49 @@ usage()
         "               [--branch sb|nsb] [--reexec me|nme]\n"
         "               [--verify N] [--max-insts N] [--max-cycles N]\n"
         "               [--warmup N] [--scale F] [--stats]\n"
-        "               [--isolate] [--timeout-ms N] <workload>\n");
+        "               [--isolate] [--timeout-ms N] <workload>\n"
+        "       vpirsim --repro <bundle.json>\n");
     std::exit(1);
+}
+
+/** Replay a fuzz repro bundle: exit 0 iff the bundled divergence
+ *  reproduces identically. */
+int
+replayRepro(const std::string &path)
+{
+    fuzz::ReproBundle b;
+    std::string err;
+    if (!fuzz::loadReproBundle(path, b, err)) {
+        std::fprintf(stderr, "vpirsim: %s\n", err.c_str());
+        return 1;
+    }
+    std::printf("bundle      %s\n", path.c_str());
+    std::printf("workload    %s (generator rev %llu, seed "
+                "0x%016llx)\n",
+                b.workload.c_str(),
+                static_cast<unsigned long long>(b.generatorRevision),
+                static_cast<unsigned long long>(b.seed));
+    if (!b.env.empty())
+        std::printf("env         %s\n", b.env.c_str());
+    std::printf("expected    [%s] %s\n", b.kind.c_str(),
+                b.detail.c_str());
+
+    fuzz::DiffOutcome got = fuzz::replayBundle(b);
+    if (!got.diverged) {
+        std::printf("replay      CLEAN — divergence did not "
+                    "reproduce\n");
+        return 1;
+    }
+    std::printf("replayed    [%s] %s\n", got.kind.c_str(),
+                got.detail.c_str());
+    if (got.kind != b.kind || got.detail != b.detail) {
+        std::printf("verdict     DIFFERENT divergence (expected "
+                    "[%s] %s)\n",
+                    b.kind.c_str(), b.detail.c_str());
+        return 1;
+    }
+    std::printf("verdict     reproduced identically\n");
+    return 0;
 }
 
 } // anonymous namespace
@@ -107,6 +153,8 @@ main(int argc, char **argv)
             setenv("VPIR_ISOLATE", "1", 1);
         } else if (arg == "--timeout-ms") {
             setenv("VPIR_CELL_TIMEOUT_MS", next(), 1);
+        } else if (arg == "--repro") {
+            return replayRepro(next());
         } else if (!arg.empty() && arg[0] == '-') {
             usage();
         } else {
