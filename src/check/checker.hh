@@ -31,6 +31,7 @@
 #include <array>
 #include <cstdint>
 
+#include "common/ckpt_io.hh"
 #include "emu/executor.hh"
 #include "emu/state.hh"
 #include "isa/instr.hh"
@@ -74,6 +75,13 @@ class LockstepChecker
     void onRetire(const Retired &r);
 
     uint64_t checkedInsts() const { return checked; }
+
+    /** Checkpoint the independent machine (its architectural state,
+     *  PC, halt flag) plus the checked count and divergence-report
+     *  history ring. */
+    void serialize(CkptWriter &w) const;
+    /** Restore serialize()d state. */
+    bool deserialize(CkptReader &r);
 
   private:
     [[noreturn]] void diverge(const Retired &r, const std::string &what);

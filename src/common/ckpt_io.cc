@@ -1,0 +1,44 @@
+#include "common/ckpt_io.hh"
+
+namespace vpir
+{
+
+namespace
+{
+
+struct Crc32Table
+{
+    uint32_t t[256];
+
+    Crc32Table()
+    {
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c >> 1) ^ ((c & 1) ? 0xedb88320u : 0u);
+            t[i] = c;
+        }
+    }
+};
+
+const Crc32Table &
+crcTable()
+{
+    static const Crc32Table table;
+    return table;
+}
+
+} // anonymous namespace
+
+uint32_t
+crc32(const void *data, size_t len, uint32_t seed)
+{
+    const Crc32Table &tab = crcTable();
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    uint32_t c = seed ^ 0xffffffffu;
+    for (size_t i = 0; i < len; ++i)
+        c = tab.t[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+} // namespace vpir

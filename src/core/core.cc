@@ -11,6 +11,10 @@
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "isa/disasm.hh"
+// Header-only stat-field visitor (no vpir_sweep link dependency);
+// checkpoints serialize CoreStats through the same single field list
+// the result cache uses, so the two cannot drift apart.
+#include "sweep/stats_json.hh"
 
 namespace vpir
 {
@@ -40,6 +44,8 @@ Core::Core(const CoreParams &p, const Program &program,
         r = RobRef{};
     lsqXcheck = parseEnvU64("VPIR_LSQ_XCHECK", 0) != 0;
     auditClobberCycle = parseEnvU64("VPIR_TEST_AUDIT_CLOBBER", UINT64_MAX);
+    if (p.ckptInsts)
+        nextCkptAt = p.ckptInsts;
 
     // One decode-table lookup per *static* instruction; the pipeline
     // reads the cached pointer for every dynamic instance.
@@ -195,8 +201,8 @@ Core::unresolvedBranches() const
 void
 Core::fetchStage()
 {
-    if (done || fetchHalted || curCycle < fetchResumeCycle ||
-        icacheStallUntil > curCycle) {
+    if (done || fetchHalted || ckptDraining ||
+        curCycle < fetchResumeCycle || icacheStallUntil > curCycle) {
         return;
     }
 
@@ -1471,6 +1477,7 @@ Core::cycle()
 {
     if (done)
         return false;
+    ckptBoundary = false;
     dcachePortsUsed = 0;
     processCompletions();
     finalizeScan();
@@ -1480,6 +1487,20 @@ Core::cycle()
         issueStage();
         dispatchStage();
         fetchStage();
+    }
+    // Checkpoint drain schedule: a pure function of commit progress.
+    // Crossing the threshold gates fetch; the pipeline then empties
+    // through normal commit and the boundary fires once quiesced. The
+    // same bubbles occur whether or not anything is persisted, which
+    // is what keeps resumed runs byte-identical to uninterrupted ones.
+    if (params.ckptInsts && !done) {
+        if (ckptDraining && quiescedForCkpt()) {
+            ckptDraining = false;
+            ckptBoundary = true;
+            nextCkptAt = st.committedInsts + params.ckptInsts;
+        } else if (!ckptDraining && st.committedInsts >= nextCkptAt) {
+            ckptDraining = true;
+        }
     }
     if (params.watchdogCycles && !done) {
         if (st.committedInsts != lastCommitInsts) {
@@ -1512,6 +1533,12 @@ Core::run()
 {
     while (cycle()) {
     }
+    return finishStats();
+}
+
+const CoreStats &
+Core::finishStats()
+{
     st.icacheAccesses = icache.accesses();
     st.icacheMisses = icache.misses();
     st.dcacheAccesses = dcache.accesses();
@@ -1526,6 +1553,114 @@ Core::run()
     st.faultsRbLink = fc.rbLink;
     st.faultsRbDropInv = fc.rbDropInv;
     return st;
+}
+
+// ------------------------------------------------------- checkpointing
+
+bool
+Core::quiescedForCkpt() const
+{
+    return robUsed == 0 && fetchQueue.empty() && lsq.empty() &&
+           storeQ.empty() && state.journalDepth() == 0;
+}
+
+void
+Core::saveCheckpoint(CkptWriter &w) const
+{
+    VPIR_ASSERT(quiescedForCkpt(),
+                "checkpoint outside a quiesced commit boundary");
+    w.u64(curCycle);
+    w.u64(nextSeq);
+    w.u32(fetchPC);
+    w.u64(fetchResumeCycle);
+    w.u64(icacheStallUntil);
+    w.b(fetchHalted);
+    w.u64(lastCommitCycle);
+    w.u64(lastCommitInsts);
+    w.u64(auditSquashed);
+    w.u64(nextCkptAt);
+    w.u32(static_cast<uint32_t>(robHead));
+    sweep::forEachStatField(st,
+        [&w](const char *, const uint64_t &v) { w.u64(v); });
+    w.b(st.haltedCleanly);
+    w.u32(emu.pc());
+    w.b(emu.halted());
+    state.serialize(w);
+    icache.serialize(w);
+    dcache.serialize(w);
+    bpred.serialize(w);
+    vptResult.serialize(w);
+    vptAddr.serialize(w);
+    rb.serialize(w);
+    fus.serialize(w);
+    injector.serialize(w);
+    w.b(checker != nullptr);
+    if (checker)
+        checker->serialize(w);
+}
+
+bool
+Core::restoreCheckpoint(CkptReader &r)
+{
+    curCycle = r.u64();
+    nextSeq = r.u64();
+    fetchPC = r.u32();
+    fetchResumeCycle = r.u64();
+    icacheStallUntil = r.u64();
+    fetchHalted = r.b();
+    lastCommitCycle = r.u64();
+    lastCommitInsts = r.u64();
+    auditSquashed = r.u64();
+    nextCkptAt = r.u64();
+    uint32_t head = r.u32();
+    if (head >= params.robEntries) {
+        r.fail();
+        return false;
+    }
+    sweep::forEachStatField(st,
+        [&r](const char *, uint64_t &v) { v = r.u64(); });
+    st.haltedCleanly = r.b();
+    emu.setPC(r.u32());
+    // The halt latch is legitimate mid-run state: a wrong-path HALT
+    // executed speculatively at dispatch sets it and nothing clears
+    // it, so it travels verbatim.
+    emu.setHalt(r.b());
+    if (!state.deserialize(r) || !icache.deserialize(r) ||
+        !dcache.deserialize(r) || !bpred.deserialize(r) ||
+        !vptResult.deserialize(r) || !vptAddr.deserialize(r) ||
+        !rb.deserialize(r) || !fus.deserialize(r) ||
+        !injector.deserialize(r)) {
+        return false;
+    }
+    if (r.b() != (checker != nullptr)) {
+        r.fail();
+        return false;
+    }
+    if (checker && !checker->deserialize(r))
+        return false;
+    if (!r.ok())
+        return false;
+
+    // The pipeline was empty at the boundary: reset all transient
+    // structures rather than serializing their (empty) contents. The
+    // ROB head position travels so physical slot allocation continues
+    // exactly where the interrupted run's would have.
+    robHead = static_cast<int>(head);
+    robTail = robHead;
+    robUsed = 0;
+    for (RobEntry &e : rob)
+        e.valid = false;
+    lsq.clear();
+    fetchQueue.clear();
+    storeQ.clear();
+    storeAddrPrefix = 0;
+    for (RobRef &p : regProducer)
+        p = RobRef{};
+    dcachePortsUsed = 0;
+    done = false;
+    ckptDraining = false;
+    ckptBoundary = false;
+    return true;
 }
 
 } // namespace vpir

@@ -183,6 +183,32 @@ class Core
     /** Advance one cycle. @return false when the run is over. */
     bool cycle();
 
+    /** Fill the derived counters (cache totals, checker/fault counts)
+     *  into the stats and return them. Idempotent; run() calls it, and
+     *  external cycle() drivers (sim/checkpoint.cc) call it once the
+     *  run is over. */
+    const CoreStats &finishStats();
+
+    // --- mid-run checkpointing (params.ckptInsts) -------------------
+    /**
+     * True right after a cycle() that completed a scheduled drain: the
+     * pipeline is empty, all speculation is retired or rolled back,
+     * and the machine may be serialized. Cleared by the next cycle().
+     */
+    bool atCkptBoundary() const { return ckptBoundary; }
+
+    /** Serialize the quiesced machine (architectural state, tables,
+     *  stats, RNG streams). Only legal when atCkptBoundary(). */
+    void saveCheckpoint(CkptWriter &w) const;
+
+    /**
+     * Restore a saveCheckpoint() bundle into a freshly constructed
+     * core for the same (params, program). @return false (reader
+     * failed) on any geometry or invariant mismatch; the core must
+     * then be discarded (cold restart), not run.
+     */
+    bool restoreCheckpoint(CkptReader &r);
+
     const CoreStats &stats() const { return st; }
     uint64_t now() const { return curCycle; }
     /** Highest dynamic sequence number handed out so far. */
@@ -325,6 +351,19 @@ class Core
     // Watchdog progress tracking.
     uint64_t lastCommitCycle = 0;
     uint64_t lastCommitInsts = 0;
+
+    // --- checkpoint drain state (params.ckptInsts) ------------------
+    /** True when the pipeline is empty at a commit boundary with no
+     *  live journal speculation. */
+    bool quiescedForCkpt() const;
+    /** Fetch is gated off while the pipeline drains to a boundary. */
+    bool ckptDraining = false;
+    /** Set for exactly the cycle() that reached the boundary. */
+    bool ckptBoundary = false;
+    /** Committed-instruction count that triggers the next drain. The
+     *  schedule is a pure function of commit progress, so interrupted
+     *  and uninterrupted runs drain at identical points. */
+    uint64_t nextCkptAt = UINT64_MAX;
 
     /** Dispatched entries dropped by squashes, for the conservation
      *  audit (dispatched == committed + squashed + in-ROB). */

@@ -113,6 +113,17 @@ struct CoreParams
      *  many cycles (0 disables the watchdog). */
     uint64_t watchdogCycles = 0;
 
+    /**
+     * Drain the pipeline to a quiesced commit boundary every this many
+     * committed instructions (0 disables draining). The drain bubbles
+     * perturb timing, so the interval is part of the simulated machine:
+     * it is hashed into the cell key, and a run resumed from a
+     * checkpoint is byte-identical to an uninterrupted run at the same
+     * interval. Checkpoint *persistence* additionally requires
+     * VPIR_CKPT_DIR (sim/checkpoint.hh).
+     */
+    uint64_t ckptInsts = 0;
+
     /** Deterministic fault injection into VPT / reuse buffer. */
     FaultPlan faults;
 };

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Mid-cell drain-and-checkpoint with corruption-proof resume.
+ *
+ * Every params.ckptInsts committed instructions the core drains to a
+ * quiesced commit boundary (core/core.hh); when a checkpoint directory
+ * is configured, this module serializes the quiesced machine into a
+ * versioned, fingerprinted, CRC32-guarded bundle via tmp+rename, and
+ * on the next run of the same cell key restores the newest valid one
+ * and continues. The drain schedule is a pure function of commit
+ * progress and the drain interval is part of the cell key, so a
+ * resumed run produces final stats byte-identical to an uninterrupted
+ * run.
+ *
+ * Corruption model: a checkpoint file can be truncated (killed
+ * mid-write despite tmp+rename — e.g. torn at the filesystem level),
+ * bit-flipped (disk/memory corruption), or stale (written by a
+ * different binary, cell, or program). Every load validates, in
+ * order: magic, format version, CRC32 over the whole file, stats
+ * schema fingerprint, params hash, program fingerprint, cell key, and
+ * warmup provenance — then the per-subsystem deserializers check
+ * their own geometry invariants. Any failure quarantines the file to
+ * `<name>.bad` with a loud warning and falls back to the next-newest
+ * checkpoint, then to a cold start (unless VPIR_CKPT_MUST_RESUME
+ * demands otherwise, which the corruption-proof test uses).
+ */
+
+#ifndef VPIR_SIM_CHECKPOINT_HH
+#define VPIR_SIM_CHECKPOINT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "sim/simulator.hh"
+
+namespace vpir
+{
+
+/** Checkpoint persistence configuration (VPIR_CKPT_* knobs). */
+struct CkptConfig
+{
+    /** Drain interval in committed instructions; mirrors
+     *  CoreParams::ckptInsts (0 = draining off). */
+    uint64_t insts = 0;
+    /** Directory for checkpoint bundles; empty = drains happen (if
+     *  insts != 0) but nothing is persisted. */
+    std::string dir;
+    /** Newest checkpoints kept per cell; older ones are rotated out
+     *  after each successful write. */
+    unsigned keep = 2;
+    /** Restore the newest valid checkpoint at run start. */
+    bool resume = true;
+    /** Fail the run loudly instead of cold-starting when no valid
+     *  checkpoint can be restored. Test knob: turns silent fallback
+     *  into a detectable failure for the corruption-proof. */
+    bool mustResume = false;
+
+    /** Checkpoints are written/restored only when both the interval
+     *  and a directory are configured. */
+    bool persistent() const { return insts != 0 && !dir.empty(); }
+};
+
+/** Read VPIR_CKPT_DIR / VPIR_CKPT_KEEP / VPIR_CKPT_RESUME /
+ *  VPIR_CKPT_MUST_RESUME (strict parsing, common/env.hh). The drain
+ *  interval is passed in because it lives in CoreParams — it is part
+ *  of the simulated machine, not of persistence policy. */
+CkptConfig ckptConfigFromEnv(uint64_t ckpt_insts);
+
+/** Identity of the cell a checkpoint belongs to. A plain struct so
+ *  sim does not depend on sweep; the sweep engine fills it from its
+ *  own cellHash()/hashParams(). */
+struct CkptCellId
+{
+    std::string workload;    //!< workload name (file naming only)
+    uint64_t cellKey = 0;    //!< full cell hash (workload+scale+params)
+    uint64_t paramsHash = 0; //!< CoreParams hash (stale-binary check)
+    uint64_t warmupInsts = 0; //!< warmup provenance
+};
+
+/** What runWithCheckpoints() did. */
+struct CkptRunResult
+{
+    /** A graceful stop was requested and honored at a checkpoint
+     *  boundary: the run is NOT finished and its stats are partial.
+     *  Only ever true when persistence is on (otherwise there is
+     *  nothing to resume from, so the run completes). */
+    bool stopped = false;
+    bool resumed = false;            //!< continued from a checkpoint
+    uint64_t resumedFromInsts = 0;   //!< commit count restored to
+    uint64_t checkpointsWritten = 0;
+};
+
+/**
+ * Run the simulator to completion (or to a graceful stop), writing a
+ * checkpoint at every drain boundary and — when @p allow_resume —
+ * first restoring the newest valid checkpoint for @p id.
+ *
+ * Without persistence (cfg.persistent() false) this is exactly
+ * sim.run(): the drain bubbles still occur when the interval is set,
+ * keeping timing identical across persistence modes.
+ */
+CkptRunResult runWithCheckpoints(Simulator &sim, const CkptConfig &cfg,
+                                 const CkptCellId &id, bool allow_resume);
+
+/** Delete this cell's `.ckpt` files after it completes cleanly.
+ *  Quarantined `.bad` files are left on disk as evidence. */
+void removeCheckpoints(const CkptConfig &cfg, const CkptCellId &id);
+
+/** Remove stale `.ckpt.tmp.<pid>` files left in @p dir by killed
+ *  processes (same policy as the result-cache tmp scrub). */
+void scrubCkptTmpFiles(const std::string &dir);
+
+/** FNV-1a fingerprint of a program image (text, data init, entry,
+ *  stack top): detects a checkpoint from a different workload build
+ *  even when the cell key collides. */
+uint64_t programFingerprint(const Program &prog);
+
+// --- graceful-stop plumbing ------------------------------------------
+//
+// Two producers feed one consumer:
+//  - in-process sweeps: the engine's signal flag, armed around the
+//    cell computation via CkptStopScope;
+//  - isolated (forked) cells: SIGUSR1 from the parent, recorded by
+//    noteCkptStopSignal() from the child's signal handler.
+// runWithCheckpoints() polls ckptStopRequested() at each boundary and
+// stops only there — never mid-pipeline — so a stopped cell's
+// checkpoint is always a normal, schedule-aligned one.
+
+/** Arms checkpoint stop-polling with an external atomic flag (nonzero
+ *  = stop requested) for the current thread. RAII: restores the
+ *  previous flag on destruction. */
+class CkptStopScope
+{
+  public:
+    explicit CkptStopScope(const std::atomic<int> *flag);
+    ~CkptStopScope();
+
+    CkptStopScope(const CkptStopScope &) = delete;
+    CkptStopScope &operator=(const CkptStopScope &) = delete;
+
+  private:
+    const std::atomic<int> *prev;
+};
+
+/** True when a graceful stop was requested via the armed scope flag
+ *  or via noteCkptStopSignal(). */
+bool ckptStopRequested();
+
+/** Record a stop request. Async-signal-safe; called from the
+ *  isolated child's SIGUSR1 handler. */
+void noteCkptStopSignal();
+
+/** Clear the process-wide signal stop flag (between isolated cells
+ *  within one process, and in tests). */
+void clearCkptStopSignal();
+
+} // namespace vpir
+
+#endif // VPIR_SIM_CHECKPOINT_HH

@@ -19,6 +19,7 @@
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "fuzz/generator.hh"
+#include "sim/checkpoint.hh"
 #include "sim/simulator.hh"
 #include "sim/warm_cache.hh"
 #include "sweep/stats_json.hh"
@@ -82,6 +83,7 @@ cellReproInfo(const SweepCell &cell)
 
 CellOutcome
 computeCellOnce(const SweepCell &cell, uint64_t timeout_ms,
+                bool allow_resume,
                 std::shared_ptr<const Workload> prebuilt_w,
                 std::shared_ptr<const EmuSnapshot> prebuilt_snap)
 {
@@ -135,7 +137,18 @@ computeCellOnce(const SweepCell &cell, uint64_t timeout_ms,
             return "cycle " + std::to_string(core.now()) + ", seq " +
                    std::to_string(core.seqAllocated());
         });
-        out.stats = sim.run();
+        CkptCellId id;
+        id.workload = cell.workload;
+        id.cellKey = cellHash(cell);
+        id.paramsHash = hashParams(cell.params);
+        id.warmupInsts = cell.params.warmupInsts;
+        CkptRunResult cr = runWithCheckpoints(
+            sim, ckptConfigFromEnv(cell.params.ckptInsts), id,
+            allow_resume);
+        out.stats = sim.stats();
+        out.ckptStopped = cr.stopped;
+        out.ckptResumed = cr.resumed;
+        out.ckptWritten = cr.checkpointsWritten;
         out.runSeconds = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - t1)
                              .count();
@@ -256,6 +269,11 @@ encodeOutcome(const CellOutcome &out)
          ",\n";
     s += "  \"warm_built\": " + std::to_string(out.warmBuilt ? 1 : 0) +
          ",\n";
+    s += "  \"ckpt_stopped\": " +
+         std::to_string(out.ckptStopped ? 1 : 0) + ",\n";
+    s += "  \"ckpt_resumed\": " +
+         std::to_string(out.ckptResumed ? 1 : 0) + ",\n";
+    s += "  \"ckpt_written\": " + std::to_string(out.ckptWritten) + ",\n";
     s += "  \"input\": \"" + jsonEscape(out.workloadInput) + "\",\n";
     s += "  \"error\": \"" + jsonEscape(out.error) + "\",\n";
     s += "  \"stats\": " + statsToJson(out.stats) + "\n}\n";
@@ -267,6 +285,7 @@ decodeOutcome(const std::string &text, CellOutcome &out)
 {
     uint64_t failed = 0, timed_out = 0;
     uint64_t setup_us = 0, run_us = 0, asm_built = 0, warm_built = 0;
+    uint64_t ckpt_stopped = 0, ckpt_resumed = 0, ckpt_written = 0;
     CellOutcome tmp;
     if (!extractU64(text, "failed", failed) ||
         !extractU64(text, "timed_out", timed_out) ||
@@ -274,6 +293,9 @@ decodeOutcome(const std::string &text, CellOutcome &out)
         !extractU64(text, "run_us", run_us) ||
         !extractU64(text, "asm_built", asm_built) ||
         !extractU64(text, "warm_built", warm_built) ||
+        !extractU64(text, "ckpt_stopped", ckpt_stopped) ||
+        !extractU64(text, "ckpt_resumed", ckpt_resumed) ||
+        !extractU64(text, "ckpt_written", ckpt_written) ||
         !extractString(text, "input", tmp.workloadInput) ||
         !extractString(text, "error", tmp.error))
         return false;
@@ -287,6 +309,9 @@ decodeOutcome(const std::string &text, CellOutcome &out)
     tmp.runSeconds = static_cast<double>(run_us) / 1e6;
     tmp.asmBuilt = asm_built != 0;
     tmp.warmBuilt = warm_built != 0;
+    tmp.ckptStopped = ckpt_stopped != 0;
+    tmp.ckptResumed = ckpt_resumed != 0;
+    tmp.ckptWritten = ckpt_written;
     out = std::move(tmp);
     return true;
 }
@@ -352,6 +377,7 @@ stderrTail(const std::string &captured, size_t max = 2048)
 
 CellOutcome
 runCellIsolated(const SweepCell &cell, const IsolationConfig &cfg,
+                bool allow_resume,
                 std::shared_ptr<const Workload> prebuilt_w,
                 std::shared_ptr<const EmuSnapshot> prebuilt_snap)
 {
@@ -360,8 +386,8 @@ runCellIsolated(const SweepCell &cell, const IsolationConfig &cfg,
         warn("VPIR_ISOLATE: pipe() failed (" +
              std::string(std::strerror(errno)) +
              "); running cell in-process");
-        return computeCellOnce(cell, cfg.timeoutMs, prebuilt_w,
-                               prebuilt_snap);
+        return computeCellOnce(cell, cfg.timeoutMs, allow_resume,
+                               prebuilt_w, prebuilt_snap);
     }
     if (pipe(err_pipe) != 0) {
         warn("VPIR_ISOLATE: pipe() failed (" +
@@ -369,8 +395,8 @@ runCellIsolated(const SweepCell &cell, const IsolationConfig &cfg,
              "); running cell in-process");
         close(res_pipe[0]);
         close(res_pipe[1]);
-        return computeCellOnce(cell, cfg.timeoutMs, prebuilt_w,
-                               prebuilt_snap);
+        return computeCellOnce(cell, cfg.timeoutMs, allow_resume,
+                               prebuilt_w, prebuilt_snap);
     }
 
     pid_t pid = fork();
@@ -382,13 +408,26 @@ runCellIsolated(const SweepCell &cell, const IsolationConfig &cfg,
         close(res_pipe[1]);
         close(err_pipe[0]);
         close(err_pipe[1]);
-        return computeCellOnce(cell, cfg.timeoutMs, prebuilt_w,
-                               prebuilt_snap);
+        return computeCellOnce(cell, cfg.timeoutMs, allow_resume,
+                               prebuilt_w, prebuilt_snap);
     }
 
     if (pid == 0) {
-        // Child: finish this cell even if a terminal ^C reaches the
-        // whole process group — the parent coordinates shutdown; a
+        // Child: graceful stop arrives as SIGUSR1 from the parent (not
+        // SIGINT/SIGTERM, which a terminal delivers to the whole
+        // process group); install the handler *before* unmasking
+        // anything so a stop racing the fork is never lost. The flag
+        // is only acted on at checkpoint boundaries.
+        clearCkptStopSignal();
+        struct sigaction usr;
+        std::memset(&usr, 0, sizeof(usr));
+        usr.sa_handler = [](int) { noteCkptStopSignal(); };
+        sigemptyset(&usr.sa_mask);
+        usr.sa_flags = SA_RESTART;
+        sigaction(SIGUSR1, &usr, nullptr);
+
+        // Finish this cell even if a terminal ^C reaches the whole
+        // process group — the parent coordinates shutdown; a
         // hard-killed parent leaves us to die on SIGPIPE at result
         // write. The parent enforces the wall-clock deadline with
         // SIGKILL, so no cooperative deadline is armed here.
@@ -410,7 +449,11 @@ runCellIsolated(const SweepCell &cell, const IsolationConfig &cfg,
         }
         CellOutcome out;
         try {
-            out = computeCellOnce(cell, 0, prebuilt_w, prebuilt_snap);
+            // Disarm any stop scope inherited from the forking worker
+            // thread: the child listens to its own SIGUSR1 flag only.
+            CkptStopScope child_scope(nullptr);
+            out = computeCellOnce(cell, 0, allow_resume, prebuilt_w,
+                                  prebuilt_snap);
         } catch (...) {
             out.failed = true;
             out.error = "unexpected exception in isolated cell worker";
@@ -436,12 +479,20 @@ runCellIsolated(const SweepCell &cell, const IsolationConfig &cfg,
                         cfg.timeoutMs ? cfg.timeoutMs : 0);
     bool timedOut = false;
     bool reaped = false;
+    bool stopForwarded = false;
     int status = 0;
     std::string resultText, errText;
     constexpr size_t RESULT_CAP = 4u << 20;
     constexpr size_t STDERR_CAP = 64u << 10;
 
     while (!reaped) {
+        // Engine stop: tell the child once; it drains to its next
+        // checkpoint boundary and hands back a resumable outcome (or,
+        // without persistence, simply finishes the cell).
+        if (!stopForwarded && cfg.stopFlag && cfg.stopFlag->load()) {
+            kill(pid, SIGUSR1);
+            stopForwarded = true;
+        }
         struct pollfd fds[2] = {{res_pipe[0], POLLIN, 0},
                                 {err_pipe[0], POLLIN, 0}};
         int wait_ms = 100;

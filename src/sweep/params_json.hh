@@ -33,7 +33,7 @@ template <typename Fn>
 void
 forEachParamField(CoreParams &p, Fn &&fn)
 {
-    static_assert(sizeof(CoreParams) == 232,
+    static_assert(sizeof(CoreParams) == 240,
                   "CoreParams changed: update forEachParamField()");
 
     auto u64f = [&fn](const char *name, auto &v) {
@@ -92,6 +92,7 @@ forEachParamField(CoreParams &p, Fn &&fn)
     VPIR_PARAM_FIELD(irOracleCheck);
     VPIR_PARAM_FIELD(auditInvariants);
     VPIR_PARAM_FIELD(watchdogCycles);
+    VPIR_PARAM_FIELD(ckptInsts);
     VPIR_PARAM_FIELD(faults.seed);
 #undef VPIR_PARAM_FIELD
     dblf("faults.vptValueRate", p.faults.vptValueRate);

@@ -11,10 +11,13 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 #include <unistd.h>
 
 #include "common/env.hh"
 #include "common/logging.hh"
+#include "common/rng.hh"
+#include "sim/checkpoint.hh"
 #include "sim/simulator.hh"
 #include "sim/warm_cache.hh"
 #include "sweep/isolate.hh"
@@ -95,7 +98,7 @@ hashParams(const CoreParams &p)
     // must be mixed in: a skipped field is a latent stale-cache
     // collision. This guard fails to compile when CoreParams changes
     // size — update the field list below, then the constant.
-    static_assert(sizeof(CoreParams) == 232,
+    static_assert(sizeof(CoreParams) == 240,
                   "CoreParams changed: update hashParams()");
 
     uint64_t h = FNV_OFFSET;
@@ -135,6 +138,7 @@ hashParams(const CoreParams &p)
     mix(h, p.irOracleCheck ? 1 : 0);
     mix(h, p.auditInvariants ? 1 : 0);
     mix(h, p.watchdogCycles);
+    mix(h, p.ckptInsts);
     mix(h, p.faults.seed);
     auto mixDouble = [&h](double d) {
         uint64_t bits;
@@ -172,6 +176,13 @@ SweepEngine::SweepEngine(unsigned jobs, const std::string &cache_dir)
     : numJobs(jobs ? jobs : defaultJobs()), cacheDir(cache_dir),
       iso(isolationFromEnv())
 {
+    // Isolated cells observe the engine's graceful-stop flag through
+    // the forking parent (SIGUSR1 forwarding, isolate.hh).
+    iso.stopFlag = &stopSig;
+    // Same crash-consistency policy as the result cache: a killed
+    // process leaks its checkpoint tmp file between write and rename.
+    if (const char *d = std::getenv("VPIR_CKPT_DIR"))
+        scrubCkptTmpFiles(d);
     if (!cacheDir.empty()) {
         std::error_code ec;
         std::filesystem::create_directories(cacheDir, ec);
@@ -409,13 +420,50 @@ SweepEngine::runRecord(Record &rec)
         }
     }
 
-    const int max_attempts = 2;
+    // Escalation ladder: retry (with optional exponential backoff and
+    // jitter) -> resume from the newest valid checkpoint -> cold
+    // restart -> structured CellFailure. Intermediate rungs resume so
+    // each retry makes forward progress past where the last attempt
+    // died; the final rung starts cold in case the checkpoint itself
+    // is what kills the cell. With one retry (the default) that means:
+    // attempt 1 resumes (continuing an interrupted sweep), attempt 2
+    // is the cold fallback.
+    const bool ckptPersist = rec.cell.params.ckptInsts != 0 &&
+                             std::getenv("VPIR_CKPT_DIR") != nullptr;
+    const int max_attempts =
+        1 + static_cast<int>(std::min<uint64_t>(
+                parseEnvU64("VPIR_CELL_RETRIES", 1), 100));
+    const uint64_t backoff_ms = parseEnvU64("VPIR_RETRY_BACKOFF_MS", 0);
     for (int attempt = 1; attempt <= max_attempts; ++attempt) {
         rec.attempts = attempt;
+        if (attempt > 1 && backoff_ms) {
+            // Bounded exponential backoff, plus deterministic jitter
+            // derived from (cell key, attempt) so a fleet of workers
+            // retrying simultaneously does not stampede in phase.
+            uint64_t delay = backoff_ms;
+            for (int i = 2; i < attempt && delay < 30000; ++i)
+                delay *= 2;
+            delay = std::min<uint64_t>(delay, 30000);
+            Rng jitter(Rng::split(rec.key,
+                                  static_cast<uint64_t>(attempt)));
+            delay += jitter.below(delay / 2 + 1);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay));
+        }
+        const bool allow_resume =
+            attempt == 1 || attempt < max_attempts;
         CellOutcome out =
             iso.enabled
-                ? runCellIsolated(rec.cell, iso, pw, psnap)
-                : computeCellOnce(rec.cell, iso.timeoutMs);
+                ? runCellIsolated(rec.cell, iso, allow_resume, pw,
+                                  psnap)
+                : [&] {
+                      // In-process cells poll the engine stop flag at
+                      // checkpoint boundaries (isolated ones get it
+                      // forwarded as SIGUSR1).
+                      CkptStopScope stop_scope(&stopSig);
+                      return computeCellOnce(rec.cell, iso.timeoutMs,
+                                             allow_resume);
+                  }();
         rec.stats = out.stats;
         rec.workloadInput = std::move(out.workloadInput);
         rec.failed = out.failed;
@@ -423,16 +471,29 @@ SweepEngine::runRecord(Record &rec)
         rec.error = std::move(out.error);
         rec.setupSeconds = out.setupSeconds;
         rec.runSeconds = out.runSeconds;
+        rec.ckptResumed = out.ckptResumed;
+        rec.ckptWritten = out.ckptWritten;
         // Attribute a parent-side prewarm build to this cell: the cell
         // that triggered the build is the one that paid for it, in
         // both execution modes.
         rec.asmBuilt = out.asmBuilt || prewarm_asm;
         rec.warmBuilt = out.warmBuilt || prewarm_warm;
+        if (out.ckptStopped) {
+            // Graceful stop honored at a checkpoint boundary: the cell
+            // is unfinished but its progress is on disk. Report it
+            // skipped (not failed, never cached) so a rerun resumes it.
+            rec.skipped = true;
+            rec.failed = false;
+            rec.stats = CoreStats{};
+            rec.wallSeconds = secondsSince(t0);
+            return;
+        }
         if (!rec.failed)
             break;
         // A deadline overrun is deterministic in time: retrying only
-        // doubles the loss.
-        if (rec.timedOut)
+        // doubles the loss — unless checkpoints persist progress, in
+        // which case each retry resumes past where the last one died.
+        if (rec.timedOut && !ckptPersist)
             break;
     }
     rec.wallSeconds = secondsSince(t0);
@@ -564,6 +625,9 @@ SweepEngine::timings() const
         t.runSeconds = r->runSeconds;
         t.assembled = r->asmBuilt;
         t.warmed = r->warmBuilt;
+        t.attempts = r->attempts > 0 ? r->attempts : 1;
+        t.ckptResumed = r->ckptResumed;
+        t.ckptWritten = r->ckptWritten;
         out.push_back(std::move(t));
     }
     return out;
@@ -689,13 +753,18 @@ SweepEngine::writeTimingJson(const std::string &path) const
                       "\", \"wall_s\": %.6f, \"setup_s\": %.6f, "
                       "\"run_s\": %.6f, \"insts\": %" PRIu64
                       ", \"mips\": %.3f, \"disk_cache\": %s, "
-                      "\"assembled\": %s, \"warmed\": %s}%s\n",
+                      "\"assembled\": %s, \"warmed\": %s, "
+                      "\"attempts\": %d, \"ckpt_resumed\": %s, "
+                      "\"ckpt_written\": %" PRIu64 "}%s\n",
                       t.workload.c_str(), t.label.c_str(), t.paramsHash,
                       t.wallSeconds, t.setupSeconds, t.runSeconds,
                       t.committedInsts, t.mips(),
                       t.fromDiskCache ? "true" : "false",
                       t.assembled ? "true" : "false",
                       t.warmed ? "true" : "false",
+                      t.attempts,
+                      t.ckptResumed ? "true" : "false",
+                      t.ckptWritten,
                       i + 1 < ts.size() ? "," : "");
         out << buf;
     }

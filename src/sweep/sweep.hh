@@ -31,7 +31,13 @@
  *  - graceful SIGINT/SIGTERM handling on the global engine: stop
  *    scheduling, let in-flight cells finish, flush completed cells to
  *    the disk cache, print a partial summary, exit 128+signal (a
- *    second signal hard-kills).
+ *    second signal hard-kills);
+ *  - mid-cell drain-and-checkpoint (VPIR_CKPT_INSTS + VPIR_CKPT_DIR,
+ *    see sim/checkpoint.hh): long cells persist resumable progress,
+ *    a graceful stop drains in-flight cells to their next boundary,
+ *    and the retry ladder (VPIR_CELL_RETRIES, VPIR_RETRY_BACKOFF_MS)
+ *    resumes a crashed cell from its newest valid checkpoint before
+ *    falling back to a cold restart.
  */
 
 #ifndef VPIR_SWEEP_SWEEP_HH
@@ -90,7 +96,7 @@ struct CellFailure
     std::string workload;
     std::string label;
     uint64_t paramsHash = 0;
-    int attempts = 0;
+    int attempts = 0;      //!< ladder rungs used (VPIR_CELL_RETRIES)
     bool timedOut = false; //!< killed by the per-cell deadline
     std::string error; //!< full panic/fatal message, context included;
                        //!< for an isolated crash: signal name, exit
@@ -116,6 +122,12 @@ struct CellTiming
     double runSeconds = 0.0;   //!< timed simulation proper
     bool assembled = false;    //!< this cell assembled the program
     bool warmed = false;       //!< this cell executed the warmup
+
+    // Robustness provenance: how many ladder attempts the cell took,
+    // and whether it continued from / persisted mid-run checkpoints.
+    int attempts = 1;
+    bool ckptResumed = false;
+    uint64_t ckptWritten = 0;
 
     double
     mips() const
@@ -163,10 +175,13 @@ class SweepEngine
 
     /**
      * Cells whose simulation panicked (in submission order). A failing
-     * cell is retried once, then recorded here with its error message;
-     * the rest of the sweep completes normally and get() returns
-     * zeroed stats for the failed cell. Harnesses must report these
-     * and exit non-zero.
+     * cell climbs the retry ladder — up to VPIR_CELL_RETRIES retries
+     * (default 1) with optional exponential backoff, resuming from its
+     * newest checkpoint on intermediate rungs and cold-restarting on
+     * the last — then is recorded here with its error message; the
+     * rest of the sweep completes normally and get() returns zeroed
+     * stats for the failed cell. Harnesses must report these and exit
+     * non-zero.
      */
     std::vector<CellFailure> failures() const;
 
@@ -222,9 +237,12 @@ class SweepEngine
         bool fromDiskCache = false;
         bool done = false;
         bool running = false;
-        bool failed = false;  //!< simulation failed (after retry)
+        bool failed = false;  //!< simulation failed (ladder exhausted)
         bool timedOut = false; //!< failed by per-cell deadline
-        bool skipped = false; //!< abandoned unrun by a stop request
+        bool skipped = false; //!< abandoned by a stop request — either
+                              //!< unrun, or checkpointed mid-cell
+        bool ckptResumed = false; //!< continued from a checkpoint
+        uint64_t ckptWritten = 0; //!< checkpoints persisted
         int attempts = 0;
         std::string error;    //!< failure message, context included
     };

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/ckpt_io.hh"
 #include "common/lru.hh"
 #include "common/sat_counter.hh"
 #include "isa/instr.hh"
@@ -87,6 +88,11 @@ class Vpt
      *  sits in the set its PC indexes to and its confidence is
      *  within the counter's range. @return "" when clean. */
     std::string audit() const;
+
+    /** Checkpoint all entries and LRU state. */
+    void serialize(CkptWriter &w) const;
+    /** Restore serialize()d state; false on geometry mismatch. */
+    bool deserialize(CkptReader &r);
 
   private:
     struct Entry

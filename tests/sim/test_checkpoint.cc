@@ -1,0 +1,581 @@
+/**
+ * @file
+ * Mid-cell drain-and-checkpoint tests: the binary bundle I/O layer,
+ * drain-schedule determinism, mid-run save/restore byte-identity,
+ * persistence + resume through runWithCheckpoints(), and the
+ * corruption model (truncation, bit flips, quarantine, fallback,
+ * VPIR_CKPT_MUST_RESUME).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "check/fault.hh"
+#include "common/ckpt_io.hh"
+#include "common/logging.hh"
+#include "sim/checkpoint.hh"
+#include "sim/simulator.hh"
+#include "sweep/stats_json.hh"
+#include "workload/workload.hh"
+
+using namespace vpir;
+
+namespace
+{
+
+constexpr uint64_t TEST_INSTS = 20000;
+constexpr uint64_t CKPT_INSTS = 5000;
+
+class EnvGuard
+{
+  public:
+    EnvGuard(const char *name, const std::string &value) : name_(name)
+    {
+        setenv(name, value.c_str(), 1);
+    }
+    ~EnvGuard() { unsetenv(name_); }
+
+  private:
+    const char *name_;
+};
+
+CoreParams
+ckptParams(uint64_t interval = CKPT_INSTS)
+{
+    CoreParams p = withLimits(
+        hybridConfig(VpScheme::Magic, BranchResolution::Speculative, 0),
+        TEST_INSTS);
+    p.ckptInsts = interval;
+    return p;
+}
+
+Simulator
+makeSim(const CoreParams &p, const std::string &workload = "compress")
+{
+    WorkloadScale scale;
+    scale.factor = 0.25;
+    Workload w = makeWorkload(workload, scale);
+    return Simulator(p, std::move(w.program));
+}
+
+CkptCellId
+testCellId()
+{
+    CkptCellId id;
+    id.workload = "compress";
+    id.cellKey = 0x1234abcd5678ef90ull;
+    id.paramsHash = 0xfeedface0badf00dull;
+    id.warmupInsts = 0;
+    return id;
+}
+
+std::string
+scratchDir(const char *tag)
+{
+    std::string d = std::string("ckpt_test_") + tag;
+    std::filesystem::remove_all(d);
+    std::filesystem::create_directories(d);
+    return d;
+}
+
+size_t
+countSuffix(const std::string &dir, const std::string &suffix)
+{
+    size_t n = 0;
+    for (const auto &ent : std::filesystem::directory_iterator(dir)) {
+        std::string name = ent.path().filename().string();
+        if (name.size() >= suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0)
+            ++n;
+    }
+    return n;
+}
+
+std::filesystem::path
+newestCkpt(const std::string &dir)
+{
+    std::filesystem::path best;
+    for (const auto &ent : std::filesystem::directory_iterator(dir)) {
+        std::string name = ent.path().filename().string();
+        if (name.size() < 5 ||
+            name.compare(name.size() - 5, 5, ".ckpt") != 0)
+            continue;
+        if (best.empty() || best.filename().string() < name)
+            best = ent.path();
+    }
+    return best;
+}
+
+// ------------------------------------------------------ bundle I/O
+
+TEST(CkptIo, WriterReaderRoundTrip)
+{
+    CkptWriter w;
+    w.u8(0xab);
+    w.u32(0xdeadbeef);
+    w.u64(0x0123456789abcdefull);
+    w.b(true);
+    w.b(false);
+    w.str(std::string("hello\0world", 11)); // embedded NUL survives
+    char raw[3] = {'x', 'y', 'z'};
+    w.bytes(raw, sizeof(raw));
+
+    CkptReader r(w.data());
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+    EXPECT_TRUE(r.b());
+    EXPECT_FALSE(r.b());
+    EXPECT_EQ(r.str(), std::string("hello\0world", 11));
+    char back[3];
+    r.bytes(back, sizeof(back));
+    EXPECT_EQ(std::string(back, 3), "xyz");
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(CkptIo, ReaderFailsStickyOnTruncation)
+{
+    CkptWriter w;
+    w.u64(42);
+    CkptReader r(w.data().data(), 4); // half a u64
+    r.u64();                          // runs off the end
+    EXPECT_FALSE(r.ok());
+    // Sticky: the failure persists for the caller's single end check.
+    EXPECT_EQ(r.u8(), 0u);
+    EXPECT_FALSE(r.ok());
+    EXPECT_FALSE(r.atEnd() && r.ok());
+}
+
+TEST(CkptIo, Crc32MatchesStandardCheckValue)
+{
+    // The canonical CRC-32/IEEE check vector.
+    EXPECT_EQ(crc32("123456789", 9), 0xcbf43926u);
+    EXPECT_NE(crc32("123456788", 9), crc32("123456789", 9));
+}
+
+// ------------------------------------------- drain schedule semantics
+
+TEST(CkptDrain, ScheduleIsDeterministic)
+{
+    Simulator a = makeSim(ckptParams());
+    Simulator b = makeSim(ckptParams());
+    const CoreStats &sa = a.run();
+    const CoreStats &sb = b.run();
+    EXPECT_TRUE(sweep::statsEqual(sa, sb));
+}
+
+TEST(CkptDrain, BubblesChangeTimingButNotWork)
+{
+    CoreParams plain = ckptParams(0);
+    Simulator a = makeSim(plain);
+    Simulator b = makeSim(ckptParams());
+    const CoreStats &sa = a.run();
+    const CoreStats &sb = b.run();
+    // Same committed work; the drains only insert fetch bubbles.
+    EXPECT_EQ(sa.committedInsts, sb.committedInsts);
+    EXPECT_GE(sb.cycles, sa.cycles);
+}
+
+TEST(CkptDrain, BoundaryFiresQuiescedAndRepeats)
+{
+    Simulator sim = makeSim(ckptParams());
+    Core &core = sim.core();
+    size_t boundaries = 0;
+    uint64_t last_insts = 0;
+    while (core.cycle()) {
+        if (core.atCkptBoundary()) {
+            ++boundaries;
+            // Commit progress is monotone across boundaries.
+            EXPECT_GT(core.stats().committedInsts, last_insts);
+            last_insts = core.stats().committedInsts;
+            EXPECT_GE(core.stats().committedInsts,
+                      boundaries * CKPT_INSTS);
+        }
+    }
+    EXPECT_GE(boundaries, 2u);
+    EXPECT_LE(boundaries, TEST_INSTS / CKPT_INSTS);
+}
+
+// ------------------------------------------- save/restore round trip
+
+TEST(CkptRestore, MidRunRoundTripIsByteIdentical)
+{
+    Simulator a = makeSim(ckptParams());
+    Core &ca = a.core();
+    while (ca.cycle() && !ca.atCkptBoundary()) {
+    }
+    ASSERT_TRUE(ca.atCkptBoundary()) << "run ended before a boundary";
+
+    CkptWriter w;
+    ca.saveCheckpoint(w);
+
+    // Finish the donor run.
+    const CoreStats &ref = a.run();
+
+    // Restore into a fresh core and finish from the boundary.
+    Simulator b = makeSim(ckptParams());
+    CkptReader r(w.data());
+    ASSERT_TRUE(b.core().restoreCheckpoint(r));
+    EXPECT_TRUE(r.atEnd());
+    const CoreStats &resumed = b.run();
+
+    EXPECT_TRUE(sweep::statsEqual(ref, resumed))
+        << "resumed run diverged from the uninterrupted one";
+}
+
+TEST(CkptRestore, RejectsGarbagePayload)
+{
+    Simulator a = makeSim(ckptParams());
+    Core &ca = a.core();
+    while (ca.cycle() && !ca.atCkptBoundary()) {
+    }
+    ASSERT_TRUE(ca.atCkptBoundary());
+    CkptWriter w;
+    ca.saveCheckpoint(w);
+
+    // A wildly corrupt payload must be rejected by the subsystem
+    // geometry checks, not crash or restore garbage.
+    std::string bad = w.data();
+    for (size_t i = 0; i < bad.size(); ++i)
+        bad[i] = static_cast<char>(~bad[i]);
+    Simulator b = makeSim(ckptParams());
+    CkptReader r(bad);
+    EXPECT_FALSE(b.core().restoreCheckpoint(r));
+}
+
+// --------------------------------------- runWithCheckpoints lifecycle
+
+TEST(CkptRun, NonPersistentIsPlainRun)
+{
+    Simulator a = makeSim(ckptParams());
+    CkptConfig cfg; // no dir: not persistent
+    cfg.insts = CKPT_INSTS;
+    CkptRunResult res =
+        runWithCheckpoints(a, cfg, testCellId(), true);
+    EXPECT_FALSE(res.stopped);
+    EXPECT_FALSE(res.resumed);
+    EXPECT_EQ(res.checkpointsWritten, 0u);
+    Simulator b = makeSim(ckptParams());
+    EXPECT_TRUE(sweep::statsEqual(a.stats(), b.run()));
+}
+
+TEST(CkptRun, StopResumeCompletesByteIdentical)
+{
+    std::string dir = scratchDir("resume");
+    CkptConfig cfg;
+    cfg.insts = CKPT_INSTS;
+    cfg.dir = dir;
+    CkptCellId id = testCellId();
+
+    // Reference: uninterrupted run.
+    Simulator ref = makeSim(ckptParams());
+    CoreStats want = ref.run();
+
+    // Interrupted run: the stop flag is already raised, so the run
+    // stops at its first persisted boundary.
+    std::atomic<int> stop{SIGTERM};
+    Simulator a = makeSim(ckptParams());
+    {
+        CkptStopScope scope(&stop);
+        CkptRunResult r1 = runWithCheckpoints(a, cfg, id, true);
+        EXPECT_TRUE(r1.stopped);
+        EXPECT_FALSE(r1.resumed);
+        EXPECT_EQ(r1.checkpointsWritten, 1u);
+    }
+    EXPECT_EQ(countSuffix(dir, ".ckpt"), 1u);
+
+    // Resume: restores the persisted boundary, finishes, and cleans
+    // its checkpoints up.
+    Simulator b = makeSim(ckptParams());
+    CkptRunResult r2 = runWithCheckpoints(b, cfg, id, true);
+    EXPECT_FALSE(r2.stopped);
+    EXPECT_TRUE(r2.resumed);
+    EXPECT_GT(r2.resumedFromInsts, 0u);
+    EXPECT_TRUE(sweep::statsEqual(want, b.stats()));
+    EXPECT_EQ(countSuffix(dir, ".ckpt"), 0u);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CkptRun, NoResumeFlagStartsCold)
+{
+    std::string dir = scratchDir("noresume");
+    CkptConfig cfg;
+    cfg.insts = CKPT_INSTS;
+    cfg.dir = dir;
+    CkptCellId id = testCellId();
+
+    std::atomic<int> stop{SIGTERM};
+    Simulator a = makeSim(ckptParams());
+    {
+        CkptStopScope scope(&stop);
+        runWithCheckpoints(a, cfg, id, true);
+    }
+    ASSERT_EQ(countSuffix(dir, ".ckpt"), 1u);
+
+    // allow_resume=false (the ladder's cold rung) ignores the file.
+    Simulator b = makeSim(ckptParams());
+    CkptRunResult r = runWithCheckpoints(b, cfg, id, false);
+    EXPECT_FALSE(r.resumed);
+    Simulator ref = makeSim(ckptParams());
+    EXPECT_TRUE(sweep::statsEqual(ref.run(), b.stats()));
+
+    std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------- corruption model
+
+TEST(CkptCorruption, BitFlipQuarantinedWithColdFallback)
+{
+    std::string dir = scratchDir("flip");
+    CkptConfig cfg;
+    cfg.insts = CKPT_INSTS;
+    cfg.dir = dir;
+    CkptCellId id = testCellId();
+
+    std::atomic<int> stop{SIGTERM};
+    Simulator a = makeSim(ckptParams());
+    {
+        CkptStopScope scope(&stop);
+        runWithCheckpoints(a, cfg, id, true);
+    }
+    std::filesystem::path victim = newestCkpt(dir);
+    ASSERT_FALSE(victim.empty());
+
+    // Flip one bit in the middle of the bundle.
+    {
+        std::fstream f(victim,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekg(0, std::ios::end);
+        auto size = static_cast<long long>(f.tellg());
+        ASSERT_GT(size, 64);
+        f.seekp(size / 2);
+        char c;
+        f.seekg(size / 2);
+        f.read(&c, 1);
+        c = static_cast<char>(c ^ 0x10);
+        f.seekp(size / 2);
+        f.write(&c, 1);
+    }
+
+    Simulator b = makeSim(ckptParams());
+    CkptRunResult r = runWithCheckpoints(b, cfg, id, true);
+    EXPECT_FALSE(r.resumed) << "a bit-flipped bundle restored";
+    EXPECT_EQ(countSuffix(dir, ".bad"), 1u)
+        << "corrupt bundle was not quarantined";
+    Simulator ref = makeSim(ckptParams());
+    EXPECT_TRUE(sweep::statsEqual(ref.run(), b.stats()));
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CkptCorruption, CorruptNewestFallsBackToOlderCheckpoint)
+{
+    std::string dir = scratchDir("fallback");
+    CkptConfig cfg;
+    cfg.insts = CKPT_INSTS;
+    cfg.dir = dir;
+    CkptCellId id = testCellId();
+
+    // Produce two checkpoints: stop at the first boundary, resume and
+    // stop again at the second.
+    std::atomic<int> stop{SIGTERM};
+    {
+        CkptStopScope scope(&stop);
+        Simulator a = makeSim(ckptParams());
+        runWithCheckpoints(a, cfg, id, true);
+        Simulator b = makeSim(ckptParams());
+        CkptRunResult r = runWithCheckpoints(b, cfg, id, true);
+        EXPECT_TRUE(r.resumed);
+        EXPECT_TRUE(r.stopped);
+    }
+    ASSERT_EQ(countSuffix(dir, ".ckpt"), 2u);
+
+    // Truncate the newest: the older one must carry the resume.
+    std::filesystem::path victim = newestCkpt(dir);
+    std::filesystem::resize_file(victim,
+                                 std::filesystem::file_size(victim) / 2);
+
+    Simulator c = makeSim(ckptParams());
+    CkptRunResult r = runWithCheckpoints(c, cfg, id, true);
+    EXPECT_TRUE(r.resumed);
+    EXPECT_GT(r.resumedFromInsts, 0u);
+    EXPECT_LT(r.resumedFromInsts, 2 * CKPT_INSTS)
+        << "the fallback must be the OLDER boundary";
+    EXPECT_EQ(countSuffix(dir, ".bad"), 1u);
+    Simulator ref = makeSim(ckptParams());
+    EXPECT_TRUE(sweep::statsEqual(ref.run(), c.stats()));
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CkptCorruption, StaleCellOrBinaryIsRejected)
+{
+    std::string dir = scratchDir("stale");
+    CkptConfig cfg;
+    cfg.insts = CKPT_INSTS;
+    cfg.dir = dir;
+    CkptCellId id = testCellId();
+
+    std::atomic<int> stop{SIGTERM};
+    Simulator a = makeSim(ckptParams());
+    {
+        CkptStopScope scope(&stop);
+        runWithCheckpoints(a, cfg, id, true);
+    }
+    ASSERT_EQ(countSuffix(dir, ".ckpt"), 1u);
+
+    // Same file name (same cell key), different params hash — the
+    // stale-binary case. The header check must reject and quarantine
+    // it, never restore it.
+    CkptCellId other = id;
+    other.paramsHash ^= 1;
+    Simulator b = makeSim(ckptParams());
+    CkptRunResult r = runWithCheckpoints(b, cfg, other, true);
+    EXPECT_FALSE(r.resumed);
+    EXPECT_EQ(countSuffix(dir, ".bad"), 1u)
+        << "a stale bundle must be quarantined";
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CkptCorruption, MustResumePanicsWithNothingRestorable)
+{
+    std::string dir = scratchDir("mustresume");
+    CkptConfig cfg;
+    cfg.insts = CKPT_INSTS;
+    cfg.dir = dir;
+    cfg.mustResume = true;
+
+    Simulator a = makeSim(ckptParams());
+    PanicThrowScope throw_scope;
+    EXPECT_THROW(runWithCheckpoints(a, cfg, testCellId(), true),
+                 SimError);
+
+    std::filesystem::remove_all(dir);
+}
+
+// --------------------------------------------- fault-injection plans
+
+TEST(CkptFaults, BitflipFlipsExactlyOneBitDeterministically)
+{
+    CkptFaultPlan plan;
+    plan.bitflip = true;
+    std::string bundle(1024, '\x5a');
+    std::string once = bundle, twice = bundle;
+    EXPECT_TRUE(applyCkptFaults(plan, once, 7));
+    EXPECT_TRUE(applyCkptFaults(plan, twice, 7));
+    EXPECT_EQ(once, twice) << "same (seed, salt) must corrupt alike";
+    ASSERT_EQ(once.size(), bundle.size());
+    int bits = 0;
+    for (size_t i = 0; i < bundle.size(); ++i) {
+        unsigned char diff = static_cast<unsigned char>(
+            once[i] ^ bundle[i]);
+        for (; diff; diff &= diff - 1)
+            ++bits;
+    }
+    EXPECT_EQ(bits, 1);
+
+    // A different salt flips a different position (with overwhelming
+    // probability for this seed; fixed, so deterministic here).
+    std::string other = bundle;
+    applyCkptFaults(plan, other, 8);
+    EXPECT_NE(once, other);
+}
+
+TEST(CkptFaults, TruncatePlanShortensTheBundle)
+{
+    CkptFaultPlan plan;
+    plan.truncate = true;
+    std::string bundle(1024, '\x11');
+    EXPECT_TRUE(applyCkptFaults(plan, bundle, 3));
+    EXPECT_LT(bundle.size(), 1024u);
+    EXPECT_GE(bundle.size(), 1u);
+}
+
+TEST(CkptFaults, EnvPlanParsesStrictly)
+{
+    EnvGuard t("VPIR_FAULT_CKPT_TRUNC", "1");
+    EnvGuard b("VPIR_FAULT_CKPT_BITFLIP", "0");
+    CkptFaultPlan plan = ckptFaultPlanFromEnv();
+    EXPECT_TRUE(plan.truncate);
+    EXPECT_FALSE(plan.bitflip);
+    EXPECT_TRUE(plan.any());
+}
+
+// -------------------------------------------------- config & hygiene
+
+TEST(CkptConfig, EnvKnobsParseAndClamp)
+{
+    EnvGuard d("VPIR_CKPT_DIR", "some_dir");
+    EnvGuard k("VPIR_CKPT_KEEP", "0");
+    EnvGuard r("VPIR_CKPT_RESUME", "0");
+    EnvGuard m("VPIR_CKPT_MUST_RESUME", "1");
+    CkptConfig cfg = ckptConfigFromEnv(123);
+    EXPECT_EQ(cfg.insts, 123u);
+    EXPECT_EQ(cfg.dir, "some_dir");
+    EXPECT_EQ(cfg.keep, 1u) << "keep=0 must clamp to 1";
+    EXPECT_FALSE(cfg.resume);
+    EXPECT_TRUE(cfg.mustResume);
+    EXPECT_TRUE(cfg.persistent());
+    EXPECT_FALSE(ckptConfigFromEnv(0).persistent());
+}
+
+TEST(CkptConfig, RotationKeepsNewestOnly)
+{
+    std::string dir = scratchDir("rotate");
+    CkptConfig cfg;
+    cfg.insts = CKPT_INSTS;
+    cfg.dir = dir;
+    cfg.keep = 1;
+    CkptCellId id = testCellId();
+
+    std::atomic<int> stop{SIGTERM};
+    CkptStopScope scope(&stop);
+    Simulator a = makeSim(ckptParams());
+    runWithCheckpoints(a, cfg, id, true);
+    Simulator b = makeSim(ckptParams());
+    runWithCheckpoints(b, cfg, id, true);
+    EXPECT_EQ(countSuffix(dir, ".ckpt"), 1u)
+        << "keep=1 must rotate the older checkpoint out";
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CkptConfig, ScrubRemovesOnlyTmpFiles)
+{
+    std::string dir = scratchDir("scrub");
+    { std::ofstream(dir + "/cell-1.00001.ckpt") << "x"; }
+    { std::ofstream(dir + "/cell-1.00002.ckpt.tmp.999") << "y"; }
+    { std::ofstream(dir + "/cell-1.00003.ckpt.bad") << "z"; }
+    scrubCkptTmpFiles(dir);
+    EXPECT_TRUE(std::filesystem::exists(dir + "/cell-1.00001.ckpt"));
+    EXPECT_FALSE(
+        std::filesystem::exists(dir + "/cell-1.00002.ckpt.tmp.999"));
+    EXPECT_TRUE(std::filesystem::exists(dir + "/cell-1.00003.ckpt.bad"));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CkptConfig, ProgramFingerprintSeparatesWorkloads)
+{
+    WorkloadScale scale;
+    scale.factor = 0.25;
+    Workload a = makeWorkload("compress", scale);
+    Workload b = makeWorkload("go", scale);
+    Workload a2 = makeWorkload("compress", scale);
+    EXPECT_EQ(programFingerprint(a.program),
+              programFingerprint(a2.program));
+    EXPECT_NE(programFingerprint(a.program),
+              programFingerprint(b.program));
+}
+
+} // anonymous namespace

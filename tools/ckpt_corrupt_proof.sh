@@ -1,0 +1,64 @@
+#!/bin/sh
+# Corruption-detection proof (registered with WILL_FAIL): exits
+# NON-ZERO exactly when the checkpoint corruption machinery works.
+#
+# Run 1 writes checkpoints with a planted single-bit flip
+# (VPIR_FAULT_CKPT_BITFLIP) and is SIGKILLed mid-run. Run 2 is then
+# *forbidden* to cold-start (VPIR_CKPT_MUST_RESUME=1): it must notice
+# the flip via the bundle CRC, quarantine every candidate to `.bad`,
+# and fail the cell loudly. If instead the corrupt bundle restores
+# "successfully" or the run silently completes, the proof is broken
+# and the script exits 0 — which WILL_FAIL reports as a test failure.
+#
+# Usage: ckpt_corrupt_proof.sh <build-dir>
+set -eu
+
+BUILD="${1:?usage: ckpt_corrupt_proof.sh <build-dir>}"
+BIN="$BUILD/tools/vpirsim"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+ARGS="--config hybrid --max-insts 2000000 --ckpt-insts 100000"
+WL=gcc
+
+# Run 1: persist bit-flipped checkpoints, then die mid-run.
+VPIR_FAULT_CKPT_BITFLIP=1 \
+    "$BIN" $ARGS --ckpt-dir "$TMP/ck" "$WL" > /dev/null 2>&1 &
+pid=$!
+i=0
+while [ "$i" -lt 500 ]; do
+    if ls "$TMP"/ck/*.ckpt >/dev/null 2>&1; then
+        break
+    fi
+    i=$((i + 1))
+    sleep 0.02
+done
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+if ! ls "$TMP"/ck/*.ckpt >/dev/null 2>&1; then
+    echo "corrupt-proof BROKEN: no checkpoint was ever written"
+    exit 0
+fi
+
+# Run 2: must detect, quarantine, and fail — never cold-start.
+if VPIR_CKPT_MUST_RESUME=1 VPIR_CELL_RETRIES=0 \
+    "$BIN" $ARGS --ckpt-dir "$TMP/ck" "$WL" \
+    > "$TMP/out.txt" 2> "$TMP/err.txt"; then
+    echo "corrupt-proof BROKEN: run completed despite planted bit flip"
+    cat "$TMP/err.txt"
+    exit 0
+fi
+if ! grep -q "corrupt checkpoint" "$TMP/err.txt"; then
+    echo "corrupt-proof BROKEN: cell failed without a quarantine notice"
+    cat "$TMP/err.txt"
+    exit 0
+fi
+if ! ls "$TMP"/ck/*.bad >/dev/null 2>&1; then
+    echo "corrupt-proof BROKEN: no .bad quarantine file left on disk"
+    exit 0
+fi
+
+echo "ckpt corruption proof holds: bit-flipped bundle rejected by CRC," \
+     "quarantined to .bad, cell failed under VPIR_CKPT_MUST_RESUME" \
+     "(exiting non-zero for WILL_FAIL)"
+exit 1
