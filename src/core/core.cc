@@ -52,7 +52,9 @@ Core::Core(const CoreParams &p, const Program &program,
     decodeCache.reserve(program.text.size());
     for (const Instr &i : program.text)
         decodeCache.push_back(&decodeInfo(i.op));
-    orderScratch.reserve(p.robEntries);
+    // 2x capacity: orderHead compaction runs only when the consumed
+    // prefix reaches robEntries, so the vector never reallocates.
+    orderList.reserve(2 * p.robEntries);
 
     if (warm) {
         // Warm start: clone the shared post-warmup snapshot instead of
@@ -495,6 +497,7 @@ Core::dispatchStage()
         e.ghrUsed = f.ghrUsed;
         e.fromRas = f.fromRas;
         e.bpCp = f.bpCp;
+        orderList.push_back(slot);
 
         // Rename sources against in-flight producers.
         SrcRegs s = srcRegs(er.inst);
@@ -684,13 +687,8 @@ void
 Core::issueStage()
 {
     unsigned issued = 0;
-    orderScratch.clear();
-    forEachInOrder([&](int slot) {
-        orderScratch.push_back(slot);
-        return true;
-    });
-
-    for (int slot : orderScratch) {
+    for (size_t i = orderHead; i < orderList.size(); ++i) {
+        int slot = orderList[i];
         RobEntry &e = at(slot);
         if (!e.valid || !e.needsExec || e.inFlight || e.finalized)
             continue;
@@ -906,14 +904,12 @@ Core::doResolve(int slot, Addr computed_next, bool is_final)
 void
 Core::resolveControl()
 {
-    // Oldest-first; a squash removes all younger entries, so restart
-    // scanning is unnecessary (they are gone).
-    orderScratch.clear();
-    forEachInOrder([&](int slot) {
-        orderScratch.push_back(slot);
-        return true;
-    });
-    for (int slot : orderScratch) {
+    // Oldest-first over the persistent order list; a squash removes
+    // all younger entries (truncating the list's tail past the current
+    // index), so restart scanning is unnecessary — they are gone and
+    // the size check below sees the shrink immediately.
+    for (size_t i = orderHead; i < orderList.size(); ++i) {
+        int slot = orderList[i];
         RobEntry &e = at(slot);
         if (!e.valid || !e.isCtrl || !e.resolvable)
             continue;
@@ -984,6 +980,7 @@ Core::squashAfter(int slot, Addr redirect)
         robTail = last;
         --robUsed;
         ++auditSquashed;
+        orderList.pop_back(); // youngest-first, mirrors the ROB pop
     }
     while (!lsq.empty() &&
            (!refAlive(lsq.back().rob) || lsq.back().rob.seq > e.seq)) {
@@ -1286,6 +1283,15 @@ Core::commitStage()
         robHead = (robHead + 1) % static_cast<int>(params.robEntries);
         --robUsed;
         ++commits;
+        // Consume the order-list head; compact once the dead prefix
+        // reaches a full window (amortized O(1) per commit).
+        ++orderHead;
+        if (orderHead >= params.robEntries) {
+            orderList.erase(orderList.begin(),
+                            orderList.begin() +
+                                static_cast<long>(orderHead));
+            orderHead = 0;
+        }
 
         if (st.committedInsts >= params.maxInsts)
             done = true;
@@ -1443,6 +1449,25 @@ Core::auditCycle() const
     });
     if (rob_bad)
         auditFail(rob_bad);
+
+    // The persistent order list's live window must mirror the ROB's
+    // ring walk slot for slot (it replaces the per-cycle rebuild).
+    if (orderList.size() - orderHead != robUsed) {
+        auditFail("order list window size " +
+                  std::to_string(orderList.size() - orderHead) +
+                  " != ROB occupancy " + std::to_string(robUsed));
+    }
+    {
+        size_t oi = orderHead;
+        const char *ol_bad = nullptr;
+        forEachInOrder([&](int slot) {
+            if (orderList[oi++] != slot)
+                ol_bad = "order list diverged from the ROB ring walk";
+            return ol_bad == nullptr;
+        });
+        if (ol_bad)
+            auditFail(ol_bad);
+    }
 
     // Every LSQ/storeQ reference must point at a live ROB entry
     // (commit pops the head, squash pops the dead suffix).
@@ -1654,6 +1679,8 @@ Core::restoreCheckpoint(CkptReader &r)
     fetchQueue.clear();
     storeQ.clear();
     storeAddrPrefix = 0;
+    orderList.clear();
+    orderHead = 0;
     for (RobRef &p : regProducer)
         p = RobRef{};
     dcachePortsUsed = 0;

@@ -320,8 +320,16 @@ class Core
     /** DecodeInfo per static instruction, built once at construction
      *  so the pipeline never re-decodes a dynamic instruction. */
     std::vector<const DecodeInfo *> decodeCache;
-    /** Reused issue/resolve scan buffer (no per-cycle allocation). */
-    std::vector<int> orderScratch;
+    /**
+     * Program-order list of live ROB slots, maintained incrementally
+     * instead of being rebuilt from a ring walk every cycle: dispatch
+     * appends, commit advances orderHead (compacting periodically so
+     * the vector stays bounded), and squash pops the dead suffix. The
+     * live window orderList[orderHead..] always equals a
+     * forEachInOrder() walk; auditCycle() checks exactly that.
+     */
+    std::vector<int> orderList;
+    size_t orderHead = 0;
     std::vector<RobEntry> rob;
     int robHead = 0;
     int robTail = 0; //!< next free slot
