@@ -1,6 +1,7 @@
 #include "core/core.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -44,8 +45,21 @@ Core::Core(const CoreParams &p, const Program &program,
         r = RobRef{};
     lsqXcheck = parseEnvU64("VPIR_LSQ_XCHECK", 0) != 0;
     auditClobberCycle = parseEnvU64("VPIR_TEST_AUDIT_CLOBBER", UINT64_MAX);
+    if (parseEnvU64("VPIR_SCHED_XCHECK", 0) != 0)
+        schedMode = SchedMode::Xcheck;
+    else if (parseEnvU64("VPIR_SCHED_BRUTE", 0) != 0)
+        schedMode = SchedMode::Brute;
+    prof.enabled = parseEnvU64("VPIR_PROFILE", 0) != 0;
     if (p.ckptInsts)
         nextCkptAt = p.ckptInsts;
+    readySet.reset(p.robEntries);
+    ctrlSet.reset(p.robEntries);
+    finalCand.reset(p.robEntries);
+    waiters.assign(2 * p.robEntries, OpWaiter{});
+    finWaiters.assign(2 * p.robEntries, OpWaiter{});
+    schedScratch.reserve(p.robEntries);
+    dueScratch.reserve(p.robEntries);
+    xcheckScratch.reserve(p.robEntries);
 
     // One decode-table lookup per *static* instruction; the pipeline
     // reads the cached pointer for every dynamic instance.
@@ -143,6 +157,10 @@ Core::operandView(int slot, int k, uint64_t t) const
     v.avail = entryValueAvail(p, e.srcReg[k], t);
     v.value = entryValueFor(p, e.srcReg[k]);
     v.final = v.avail && p.finalized && p.finalizeAt <= t;
+    // Idle-skip bound: the only way this view changes without an
+    // event is the producer's verification delay elapsing.
+    if (v.avail && p.finalized && p.finalizeAt > t)
+        noteWake(p.finalizeAt);
     return v;
 }
 
@@ -184,16 +202,24 @@ Core::oldestUnknownStoreSeq() const
 unsigned
 Core::unresolvedBranches() const
 {
-    unsigned n = 0;
-    forEachInOrder([&](int slot) {
-        const RobEntry &e = at(slot);
-        if (e.isCtrl && e.resolvable && !e.resolvedForFetch)
-            ++n;
-        return true;
-    });
-    for (const FetchedInst &f : fetchQueue) {
-        if (f.resolvable)
-            ++n;
+    unsigned n = robUnresolvedCtrl + fqResolvable;
+    if (schedMode == SchedMode::Xcheck) {
+        // Brute-force cross-check against the walks the counters
+        // replaced.
+        unsigned ref = 0;
+        forEachInOrder([&](int slot) {
+            const RobEntry &e = at(slot);
+            if (e.isCtrl && e.resolvable && !e.resolvedForFetch)
+                ++ref;
+            return true;
+        });
+        for (const FetchedInst &f : fetchQueue) {
+            if (f.resolvable)
+                ++ref;
+        }
+        VPIR_ASSERT(n == ref,
+                    "unresolved-branch counter diverged from the "
+                    "ROB/fetch-queue walk");
     }
     return n;
 }
@@ -205,6 +231,15 @@ Core::fetchStage()
 {
     if (done || fetchHalted || ckptDraining ||
         curCycle < fetchResumeCycle || icacheStallUntil > curCycle) {
+        // Time-gated stalls bound the idle skip; the other gates only
+        // clear on events (squash, drain completion) that are
+        // activity in their own cycle.
+        if (!done && !fetchHalted && !ckptDraining) {
+            if (curCycle < fetchResumeCycle)
+                noteWake(fetchResumeCycle);
+            else
+                noteWake(icacheStallUntil);
+        }
         return;
     }
 
@@ -216,6 +251,7 @@ Core::fetchStage()
         const Instr *ip = prog.at(fetchPC);
         if (!ip) {
             fetchHalted = true; // off the text segment; wait for squash
+            cycleHadWork = true;
             break;
         }
         if (!icache.sameLine(fetchPC, line_pc))
@@ -223,6 +259,7 @@ Core::fetchStage()
 
         if (first) {
             unsigned lat = icache.access(fetchPC);
+            cycleHadWork = true; // cache state/stats advanced
             if (lat > params.icache.hitLatency) {
                 icacheStallUntil = curCycle + lat;
                 return;
@@ -242,6 +279,7 @@ Core::fetchStage()
         if (ip->op == Op::HALT) {
             f.predNextPC = fetchPC; // fetch stops here
             fetchQueue.push_back(f);
+            fqResolvable += f.resolvable;
             fetchHalted = true;
             break;
         }
@@ -265,6 +303,7 @@ Core::fetchStage()
         }
 
         fetchQueue.push_back(f);
+        fqResolvable += f.resolvable;
         fetchPC = f.predNextPC;
         --budget;
         if (taken_stop)
@@ -551,14 +590,18 @@ Core::dispatchStage()
                 regProducer[r] = RobRef{slot, e.seq};
         }
 
+        schedOnDispatch(slot);
+        fqResolvable -= f.resolvable;
         fetchQueue.pop_front();
         ++dispatched;
+        cycleHadWork = true;
 
         // A reused control instruction resolves at decode: resolution
         // latency zero, and an immediate redirect on a bpred miss.
         if (e.reused && e.isCtrl) {
-            e.resolvedForFetch = true;
+            noteResolvedForFetch(e);
             e.finalActionDone = true;
+            ctrlSet.erase(slot);
             if (e.correctResolveAt == UINT64_MAX)
                 e.correctResolveAt = curCycle;
             if (e.curNextPC != e.followedNextPC) {
@@ -567,6 +610,180 @@ Core::dispatchStage()
             }
         }
     }
+}
+
+// ----------------------------------------- incremental scheduling
+
+void
+Core::linkWaiter(int cslot, int k, int pslot)
+{
+    int id = cslot * 2 + k;
+    OpWaiter &w = waiters[id];
+    VPIR_ASSERT(w.prodSlot < 0, "re-linking a linked waiter node");
+    w.prodSlot = pslot;
+    w.prev = -1;
+    w.next = at(pslot).waiterHead;
+    if (w.next >= 0)
+        waiters[w.next].prev = id;
+    at(pslot).waiterHead = id;
+}
+
+void
+Core::unlinkWaiter(int cslot, int k)
+{
+    int id = cslot * 2 + k;
+    OpWaiter &w = waiters[id];
+    if (w.prodSlot < 0)
+        return;
+    if (w.prev >= 0)
+        waiters[w.prev].next = w.next;
+    else
+        at(w.prodSlot).waiterHead = w.next;
+    if (w.next >= 0)
+        waiters[w.next].prev = w.prev;
+    w = OpWaiter{};
+}
+
+void
+Core::wakeWaiters(int prodSlot)
+{
+    const RobEntry &p = at(prodSlot);
+    int id = p.waiterHead;
+    while (id >= 0) {
+        int next = waiters[id].next;
+        int cslot = id / 2;
+        int k = id % 2;
+        RobEntry &c = at(cslot);
+        if (entryValueAvail(p, c.srcReg[k], curCycle)) {
+            OpWaiter &w = waiters[id];
+            if (!w.availSeen) {
+                // First availability: monotone per ROB incarnation,
+                // so pendingOps decrements for good. The link stays —
+                // later publications of a *different* value must
+                // re-wake the consumer for re-execution.
+                w.availSeen = true;
+                if (--c.pendingOps == 0)
+                    readySet.insert(cslot);
+            } else if (c.executedOnce
+                           ? entryValueFor(p, c.srcReg[k]) !=
+                                 c.usedVals[k]
+                           : c.pendingOps == 0) {
+                // Re-publication of an already-available operand: the
+                // consumer is an issue candidate again, but only when
+                // this publication actually changed the value it last
+                // consumed (the issue scan's changed test is exactly
+                // per-operand value-vs-used). A not-yet-executed
+                // consumer is already a member whenever its operands
+                // are all available.
+                readySet.insert(cslot);
+            }
+        }
+        id = next;
+    }
+}
+
+void
+Core::linkFinWaiter(int cslot, int k, int pslot)
+{
+    int id = cslot * 2 + k;
+    OpWaiter &w = finWaiters[id];
+    VPIR_ASSERT(w.prodSlot < 0, "re-linking a linked finalize waiter");
+    w.prodSlot = pslot;
+    w.prev = -1;
+    w.next = at(pslot).finWaiterHead;
+    if (w.next >= 0)
+        finWaiters[w.next].prev = id;
+    at(pslot).finWaiterHead = id;
+}
+
+void
+Core::unlinkFinWaiter(int cslot, int k)
+{
+    int id = cslot * 2 + k;
+    OpWaiter &w = finWaiters[id];
+    if (w.prodSlot < 0)
+        return;
+    if (w.prev >= 0)
+        finWaiters[w.prev].next = w.next;
+    else
+        at(w.prodSlot).finWaiterHead = w.next;
+    if (w.next >= 0)
+        finWaiters[w.next].prev = w.prev;
+    w = OpWaiter{};
+}
+
+void
+Core::scheduleRefinal(int slot, uint64_t at_cycle)
+{
+    WheelEvent ev;
+    ev.at = at_cycle;
+    ev.seq = at(slot).seq;
+    ev.slot = slot;
+    ev.kind = WheelEvent::Kind::Refinal;
+    wheel.schedule(ev, curCycle);
+}
+
+void
+Core::noteResolvedForFetch(RobEntry &e)
+{
+    if (e.isCtrl && e.resolvable && !e.resolvedForFetch) {
+        VPIR_ASSERT(robUnresolvedCtrl > 0,
+                    "unresolved-control counter underflow");
+        --robUnresolvedCtrl;
+    }
+    e.resolvedForFetch = true;
+}
+
+void
+Core::schedOnDispatch(int slot)
+{
+    RobEntry &e = at(slot);
+    // Slot reuse: any residue from the previous occupant is a bug in
+    // the unlink discipline, but clearing is O(1) and keeps a
+    // dangling node from corrupting a live producer's list.
+    unlinkWaiter(slot, 0);
+    unlinkWaiter(slot, 1);
+    unlinkFinWaiter(slot, 0);
+    unlinkFinWaiter(slot, 1);
+
+    if (e.isCtrl && e.resolvable) {
+        ++robUnresolvedCtrl;
+        if (!e.finalActionDone)
+            ctrlSet.insert(slot);
+    }
+    if (!e.needsExec)
+        return; // reused/nop/halt: never issues
+    e.pendingOps = 0;
+    for (int k = 0; k < 2; ++k) {
+        if (e.srcReg[k] == REG_INVALID || !refAlive(e.srcRob[k]))
+            continue;
+        // Link every live-producer operand, available or not: the
+        // link is the re-publication wake channel that lets the issue
+        // scan drop quiescent entries from the ready set.
+        const RobEntry &p = at(e.srcRob[k].slot);
+        bool avail = entryValueAvail(p, e.srcReg[k], curCycle);
+        linkWaiter(slot, k, e.srcRob[k].slot);
+        waiters[slot * 2 + k].availSeen = avail;
+        if (!avail)
+            ++e.pendingOps;
+    }
+    bool addr_ready_load =
+        e.isLd && e.memAddrKnown && (e.addrReused || e.addrPredicted);
+    if (e.pendingOps == 0 || addr_ready_load)
+        readySet.insert(slot);
+}
+
+void
+Core::collectInOrder(const SlotSet &s, std::vector<int> &out) const
+{
+    // ROB slots are allocated in ring order, so walking the bitmask
+    // from the head (with wraparound) yields program order directly —
+    // no sort.
+    out.clear();
+    s.forEachFrom(static_cast<size_t>(robHead), [&](int slot) {
+        out.push_back(slot);
+        return true;
+    });
 }
 
 // -------------------------------------------------------------- issue
@@ -681,14 +898,39 @@ Core::issueEntry(int slot)
 
     e.inFlight = true;
     e.completeAt = complete;
+    // In-flight entries leave both candidate sets; completion makes
+    // the entry a finalize candidate again, and a wake landing during
+    // the flight makes it an issue candidate again.
+    readySet.erase(slot);
+    finalCand.erase(slot);
+    if (schedMode != SchedMode::Brute) {
+        // The brute scan first sees a completion the cycle after
+        // issue, so an already-due completeAt fires then.
+        WheelEvent ev;
+        ev.at = std::max(complete, curCycle + 1);
+        ev.seq = e.seq;
+        ev.slot = slot;
+        wheel.schedule(ev, curCycle);
+    }
 }
 
 void
 Core::issueStage()
 {
     unsigned issued = 0;
-    for (size_t i = orderHead; i < orderList.size(); ++i) {
-        int slot = orderList[i];
+    // Fast: only ready-set members (program order). Brute and Xcheck:
+    // the legacy full-window walk; Xcheck additionally asserts that
+    // every entry the walk finds issuable is in the ready set, which
+    // (the evaluation code being shared) pins the fast path to
+    // identical issue decisions.
+    if (schedMode == SchedMode::Fast) {
+        collectInOrder(readySet, schedScratch);
+    } else {
+        schedScratch.assign(orderList.begin() +
+                                static_cast<long>(orderHead),
+                            orderList.end());
+    }
+    for (int slot : schedScratch) {
         RobEntry &e = at(slot);
         if (!e.valid || !e.needsExec || e.inFlight || e.finalized)
             continue;
@@ -710,8 +952,12 @@ Core::issueStage()
         bool addr_ready_load =
             e.isLd && e.memAddrKnown && (e.addrReused ||
                                          e.addrPredicted);
-        if (!all_avail && !addr_ready_load)
+        if (!all_avail && !addr_ready_load) {
+            // Waiter links guarantee a wake when the missing operand
+            // publishes, so the entry can leave the ready set.
+            readySet.erase(slot);
             continue;
+        }
 
         if (!e.executedOnce) {
             wants = true;
@@ -724,17 +970,36 @@ Core::issueStage()
             // re-issue it. Redo the access once real operands arrive.
             bool addr_stale = e.isLd && all_avail &&
                               e.curMemAddr != e.exec.out.memAddr;
-            if (!changed && !addr_stale)
+            if (!changed && !addr_stale) {
+                // Quiescent: only an operand re-publication can change
+                // this evaluation, and the persistent waiter links
+                // re-wake the entry then — so stop polling it.
+                readySet.erase(slot);
                 continue;
+            }
             if (params.reexec == ReexecPolicy::Multiple || addr_stale) {
                 wants = true; // ME: re-execute on any new value
             } else {
                 // NME: re-execute once, after operands are final.
                 wants = all_final && e.execCount < 2;
+                if (!wants) {
+                    if (e.execCount >= 2) {
+                        // Final re-execution already done; nothing
+                        // further can make this entry issue.
+                        readySet.erase(slot);
+                    }
+                    // else: waiting on operand *finality*, which can
+                    // elapse with no publication — keep polling (the
+                    // operand view notes the finalize cycle as an
+                    // idle-skip bound).
+                    continue;
+                }
             }
         }
-        if (!wants)
-            continue;
+        if (schedMode == SchedMode::Xcheck) {
+            VPIR_ASSERT(readySet.test(slot),
+                        "issuable entry missing from the ready set");
+        }
 
         // Loads must respect store disambiguation before requesting
         // a port (a blocked load is a dataflow stall, not resource
@@ -756,6 +1021,7 @@ Core::issueStage()
         // From here on the instruction is ready: any denial is
         // resource contention (Figure 5).
         ++st.resourceRequests;
+        cycleHadWork = true;
         if (issued >= params.issueWidth) {
             ++st.resourceDenied;
             continue;
@@ -784,6 +1050,7 @@ void
 Core::completeEntry(int slot)
 {
     RobEntry &e = at(slot);
+    cycleHadWork = true;
     e.inFlight = false;
     e.executedOnce = true;
     e.curResult = e.pendResult;
@@ -827,61 +1094,212 @@ Core::completeEntry(int slot)
         !e.rbInserted) {
         insertIntoRb(slot);
     }
+
+    // Scheduler upkeep: the publication may unblock consumers, the
+    // entry itself is a finalize candidate again (re-execution
+    // candidacy is wake-driven: any publication landing during the
+    // flight already re-inserted it into the ready set), and a
+    // pending SB resolution makes it a resolution candidate.
+    wakeWaiters(slot);
+    if (!e.finalized)
+        finalCand.insert(slot);
+    // An address-stale load wants to re-issue on *unchanged* operands
+    // (the issue scan's addr_stale term), and this completion itself
+    // is what made the address stale — there may be no further
+    // operand publication to deliver a wake, so re-arm it here.
+    if (e.isLd && e.curMemAddr != e.exec.out.memAddr)
+        readySet.insert(slot);
+    if (e.pendingResolve && !e.finalActionDone)
+        ctrlSet.insert(slot);
 }
 
 void
 Core::processCompletions()
 {
-    forEachInOrder([&](int slot) {
-        RobEntry &e = at(slot);
-        if (e.valid && e.inFlight && e.completeAt <= curCycle)
-            completeEntry(slot);
-        return true;
-    });
+    if (schedMode == SchedMode::Brute) {
+        forEachInOrder([&](int slot) {
+            RobEntry &e = at(slot);
+            if (e.valid && e.inFlight && e.completeAt <= curCycle)
+                completeEntry(slot);
+            return true;
+        });
+        return;
+    }
+
+    // Event-driven: only this cycle's wheel bucket. Squashes leave
+    // stale events behind, so each is validated against live ROB
+    // state; completion order must be program order (RB insertion and
+    // store-invalidation are order-sensitive), so sort by seq.
+    dueScratch.clear();
+    wheel.popDue(curCycle, dueScratch);
+    schedScratch.clear();
+    for (const WheelEvent &ev : dueScratch) {
+        const RobEntry &e = at(ev.slot);
+        if (ev.kind == WheelEvent::Kind::Refinal) {
+            // A parked finalize candidate's recheck came due (its
+            // producer's verification delay elapsed). Re-issued or
+            // squashed incarnations drop the event; completion or the
+            // staleness check re-arms them.
+            if (e.valid && e.seq == ev.seq && !e.inFlight &&
+                !e.finalized && e.needsExec && e.executedOnce) {
+                finalCand.insert(ev.slot);
+            }
+            continue;
+        }
+        if (e.valid && e.seq == ev.seq && e.inFlight &&
+            e.completeAt <= curCycle) {
+            schedScratch.push_back(ev.slot);
+        }
+    }
+    std::sort(schedScratch.begin(), schedScratch.end(),
+              [this](int a, int b) { return at(a).seq < at(b).seq; });
+
+    if (schedMode == SchedMode::Xcheck) {
+        // The brute walk must find exactly the slots the wheel
+        // delivered (both lists are seq-ascending).
+        xcheckScratch.clear();
+        forEachInOrder([&](int slot) {
+            const RobEntry &e = at(slot);
+            if (e.valid && e.inFlight && e.completeAt <= curCycle)
+                xcheckScratch.push_back(slot);
+            return true;
+        });
+        VPIR_ASSERT(xcheckScratch == schedScratch,
+                    "event wheel diverged from the completion scan");
+    }
+
+    for (int slot : schedScratch)
+        completeEntry(slot);
 }
 
 void
 Core::finalizeScan()
 {
-    forEachInOrder([&](int slot) {
+    // Fast walks only the finalize-candidate set, as a mutable
+    // worklist: an entry that fails because an operand is not yet
+    // final *parks* — on the producer's finalize-waiter list when the
+    // producer has not finalized, or on a timed wheel recheck when
+    // only its verification delay is pending — instead of being
+    // re-polled every cycle. A producer finalizing mid-pass wakes its
+    // parked consumers and splices them back into the worklist in
+    // program order, so chains of same-cycle finalizations behave
+    // exactly as in the brute walk. Brute/Xcheck walk the whole
+    // window; Xcheck also runs the park bookkeeping for candidates
+    // (keeping the structures on the fast trajectory) and asserts
+    // every entry it finalizes is a candidate.
+    bool fast = schedMode == SchedMode::Fast;
+    bool park = schedMode != SchedMode::Brute;
+    if (fast) {
+        collectInOrder(finalCand, schedScratch);
+    } else {
+        schedScratch.assign(orderList.begin() +
+                                static_cast<long>(orderHead),
+                            orderList.end());
+    }
+    for (size_t i = 0; i < schedScratch.size(); ++i) {
+        int slot = schedScratch[i];
         RobEntry &e = at(slot);
         if (!e.valid || e.finalized || e.inFlight)
-            return true;
+            continue;
         if (!e.needsExec || !e.executedOnce)
-            return true;
+            continue;
+        bool member = finalCand.test(slot);
 
         bool ops_final = true;
         for (int k = 0; k < 2; ++k) {
             OperandView v = operandView(slot, k, curCycle);
-            if (!v.final) {
-                ops_final = false;
-                break;
+            if (v.final)
+                continue;
+            ops_final = false;
+            if (park && member && refAlive(e.srcRob[k])) {
+                const RobEntry &p = at(e.srcRob[k].slot);
+                if (!p.finalized) {
+                    // Re-completion can put a still-parked entry back
+                    // into the candidate set; the node is already on
+                    // the right producer's list then.
+                    if (finWaiters[slot * 2 + k].prodSlot < 0)
+                        linkFinWaiter(slot, k, e.srcRob[k].slot);
+                    finalCand.erase(slot);
+                } else if (p.finalizeAt > curCycle) {
+                    scheduleRefinal(slot, p.finalizeAt);
+                    finalCand.erase(slot);
+                }
+                // else: a finalized-now producer publishes before it
+                // finalizes, so a non-final view cannot happen — keep
+                // the entry polling defensively.
             }
+            break;
         }
         if (!ops_final)
-            return true;
+            continue;
 
         // The last execution must have consumed the final (oracle)
-        // operand values; otherwise a re-execution is still due.
+        // operand values; otherwise a re-execution is still due: the
+        // publication that changes the operands re-wakes the entry on
+        // the issue side, and its completion re-arms the candidate.
         if (e.usedVals[0] != e.exec.srcVals[0] ||
             e.usedVals[1] != e.exec.srcVals[1]) {
-            return true;
+            if (park && member)
+                finalCand.erase(slot);
+            continue;
         }
 
         // A load whose last access used a mispredicted address read
         // the wrong location even if the (stale) operand values
         // happened to match the oracle ones; hold it for the
         // addr-stale re-issue instead of finalizing wrong data.
-        if (e.isLd && e.curMemAddr != e.exec.out.memAddr)
-            return true;
+        if (e.isLd && e.curMemAddr != e.exec.out.memAddr) {
+            if (park && member)
+                finalCand.erase(slot);
+            continue;
+        }
 
+        if (schedMode == SchedMode::Xcheck) {
+            VPIR_ASSERT(member, "finalizing entry missing from the "
+                                "finalize-candidate set");
+        }
         e.finalized = true;
         e.finalizeAt = curCycle + (e.predicted ? params.vpVerifyLatency
                                                : 0);
         if (e.predicted && e.predValue != e.exec.out.result)
             ++st.valueMispredictEvents;
-        return true;
-    });
+        readySet.erase(slot);
+        finalCand.erase(slot);
+        // Finalized entries never re-execute, so the operand links
+        // have no wakes left to deliver.
+        unlinkWaiter(slot, 0);
+        unlinkWaiter(slot, 1);
+        cycleHadWork = true;
+
+        // Wake parked consumers. With a verification delay the value
+        // is final only at finalizeAt: recheck then (timed event);
+        // otherwise recheck this pass, in program order (consumers
+        // are younger, so the splice point is always after i).
+        int id = e.finWaiterHead;
+        while (id >= 0) {
+            int next = finWaiters[id].next;
+            int cslot = id / 2;
+            unlinkFinWaiter(cslot, id % 2);
+            const RobEntry &c = at(cslot);
+            if (e.finalizeAt > curCycle) {
+                scheduleRefinal(cslot, e.finalizeAt);
+            } else if (!c.inFlight && !c.finalized &&
+                       !finalCand.test(cslot)) {
+                finalCand.insert(cslot);
+                if (fast) {
+                    auto it = std::upper_bound(
+                        schedScratch.begin() +
+                            static_cast<std::ptrdiff_t>(i) + 1,
+                        schedScratch.end(), cslot,
+                        [this](int a, int b) {
+                            return at(a).seq < at(b).seq;
+                        });
+                    schedScratch.insert(it, cslot);
+                }
+            }
+            id = next;
+        }
+    }
 }
 
 // ---------------------------------------------------------- resolution
@@ -890,9 +1308,12 @@ void
 Core::doResolve(int slot, Addr computed_next, bool is_final)
 {
     RobEntry &e = at(slot);
-    e.resolvedForFetch = true;
-    if (is_final)
+    cycleHadWork = true;
+    noteResolvedForFetch(e);
+    if (is_final) {
         e.finalActionDone = true;
+        ctrlSet.erase(slot);
+    }
     if (computed_next == e.exec.out.nextPC &&
         e.correctResolveAt == UINT64_MAX) {
         e.correctResolveAt = curCycle;
@@ -904,12 +1325,19 @@ Core::doResolve(int slot, Addr computed_next, bool is_final)
 void
 Core::resolveControl()
 {
-    // Oldest-first over the persistent order list; a squash removes
-    // all younger entries (truncating the list's tail past the current
-    // index), so restart scanning is unnecessary — they are gone and
-    // the size check below sees the shrink immediately.
-    for (size_t i = orderHead; i < orderList.size(); ++i) {
-        int slot = orderList[i];
+    // Oldest-first; a squash removes all younger entries, so restart
+    // scanning is unnecessary (the validity guard sees them gone).
+    // Fast iterates only the unresolved-control set; Brute/Xcheck walk
+    // the whole window, Xcheck asserting every acting entry is in the
+    // set.
+    if (schedMode == SchedMode::Fast) {
+        collectInOrder(ctrlSet, schedScratch);
+    } else {
+        schedScratch.assign(orderList.begin() +
+                                static_cast<long>(orderHead),
+                            orderList.end());
+    }
+    for (int slot : schedScratch) {
         RobEntry &e = at(slot);
         if (!e.valid || !e.isCtrl || !e.resolvable)
             continue;
@@ -919,10 +1347,24 @@ Core::resolveControl()
         if (nsb) {
             if (e.finalized && e.finalizeAt <= curCycle &&
                 !e.finalActionDone) {
+                if (schedMode == SchedMode::Xcheck) {
+                    VPIR_ASSERT(ctrlSet.test(slot),
+                                "resolving entry missing from the "
+                                "control set");
+                }
                 doResolve(slot, e.curNextPC, true);
+            } else if (e.finalized && !e.finalActionDone &&
+                       e.finalizeAt > curCycle) {
+                noteWake(e.finalizeAt); // idle-skip bound
             }
         } else if (e.pendingResolve) {
+            if (schedMode == SchedMode::Xcheck) {
+                VPIR_ASSERT(ctrlSet.test(slot),
+                            "resolving entry missing from the "
+                            "control set");
+            }
             e.pendingResolve = false;
+            cycleHadWork = true;
             bool fin = e.finalized && e.finalizeAt <= curCycle;
             doResolve(slot, e.curNextPC, fin);
         }
@@ -952,6 +1394,7 @@ Core::squashAfter(int slot, Addr redirect)
 {
     RobEntry &e = at(slot);
 
+    cycleHadWork = true;
     ++st.branchSquashes;
     bool legit = redirect == e.exec.out.nextPC &&
                  e.predNextPC != e.exec.out.nextPC &&
@@ -981,6 +1424,25 @@ Core::squashAfter(int slot, Addr redirect)
         --robUsed;
         ++auditSquashed;
         orderList.pop_back(); // youngest-first, mirrors the ROB pop
+        // Scheduler teardown. Waiter unlinks are eager: this slot
+        // will be reused, and a dangling node would corrupt a live
+        // producer's list. Youngest-first order means y's own waiters
+        // (younger still) already unlinked themselves, and y's
+        // producers (older) are still walkable.
+        readySet.erase(last);
+        ctrlSet.erase(last);
+        finalCand.erase(last);
+        if (y.isCtrl && y.resolvable && !y.resolvedForFetch) {
+            VPIR_ASSERT(robUnresolvedCtrl > 0,
+                        "unresolved-control counter underflow");
+            --robUnresolvedCtrl;
+        }
+        unlinkWaiter(last, 0);
+        unlinkWaiter(last, 1);
+        unlinkFinWaiter(last, 0);
+        unlinkFinWaiter(last, 1);
+        // Stale wheel events for y are discarded on pop by the
+        // (slot, seq) validity check.
     }
     while (!lsq.empty() &&
            (!refAlive(lsq.back().rob) || lsq.back().rob.seq > e.seq)) {
@@ -1011,6 +1473,7 @@ Core::squashAfter(int slot, Addr redirect)
 
     e.followedNextPC = redirect;
     fetchQueue.clear();
+    fqResolvable = 0;
     fetchPC = redirect;
     fetchResumeCycle = curCycle + 1;
     fetchHalted = false;
@@ -1212,13 +1675,20 @@ Core::commitStage()
     unsigned commits = 0;
     while (commits < params.commitWidth && robUsed > 0 && !done) {
         RobEntry &e = at(robHead);
-        if (!(e.finalized && e.finalizeAt <= curCycle) || e.inFlight)
+        if (!(e.finalized && e.finalizeAt <= curCycle) || e.inFlight) {
+            // Head finalized but verification pending: the only
+            // purely time-gated commit stall (idle-skip bound).
+            if (e.finalized && !e.inFlight && e.finalizeAt > curCycle)
+                noteWake(e.finalizeAt);
             break;
+        }
         if (e.isCtrl && e.resolvable && !e.finalActionDone) {
             // SB resolutions mark final action lazily; the final
             // publication necessarily happened, so take it now.
             if (e.curNextPC == e.followedNextPC) {
                 e.finalActionDone = true;
+                ctrlSet.erase(robHead);
+                cycleHadWork = true;
                 if (e.correctResolveAt == UINT64_MAX)
                     e.correctResolveAt = curCycle;
             } else {
@@ -1232,6 +1702,7 @@ Core::commitStage()
         }
 
         if (e.isHalt) {
+            cycleHadWork = true;
             if (checker)
                 checkRetired(e);
             done = true;
@@ -1248,6 +1719,7 @@ Core::commitStage()
             if (dcachePortsUsed >= params.dcachePorts) {
                 ++st.resourceRequests;
                 ++st.resourceDenied;
+                cycleHadWork = true;
                 break;
             }
             ++dcachePortsUsed;
@@ -1279,10 +1751,35 @@ Core::commitStage()
             }
         }
 
+        // Committed entries are finalized and resolved, so they left
+        // the scheduling sets already; the erases are idempotent
+        // belt-and-braces before the slot is reused.
+        readySet.erase(robHead);
+        ctrlSet.erase(robHead);
+        finalCand.erase(robHead);
+        // Consumers still linked for re-publication wakes see the
+        // committed value as architectural (and final) once the ref
+        // dies, so the links dissolve. A never-woken operand counts
+        // this as its publication. The finalize-waiter list drained
+        // when this entry finalized; the walk is defensive.
+        while (e.waiterHead >= 0) {
+            int id = e.waiterHead;
+            int cs = id / 2;
+            bool seen = waiters[id].availSeen;
+            unlinkWaiter(cs, id % 2);
+            if (!seen && --at(cs).pendingOps == 0)
+                readySet.insert(cs);
+        }
+        while (e.finWaiterHead >= 0) {
+            int cs = e.finWaiterHead / 2;
+            unlinkFinWaiter(cs, e.finWaiterHead % 2);
+            finalCand.insert(cs); // re-arm rather than strand
+        }
         e.valid = false;
         robHead = (robHead + 1) % static_cast<int>(params.robEntries);
         --robUsed;
         ++commits;
+        cycleHadWork = true;
         // Consume the order-list head; compact once the dead prefix
         // reaches a full window (amortized O(1) per commit).
         ++orderHead;
@@ -1493,6 +1990,203 @@ Core::auditCycle() const
         if (!w.empty())
             auditFail(w);
     }
+
+    auditSched();
+}
+
+void
+Core::auditSched() const
+{
+    // Incremental counters against a full recount.
+    unsigned unresolved = 0;
+    forEachInOrder([&](int slot) {
+        const RobEntry &e = at(slot);
+        if (e.isCtrl && e.resolvable && !e.resolvedForFetch)
+            ++unresolved;
+        return true;
+    });
+    if (unresolved != robUnresolvedCtrl)
+        auditFail("unresolved-control counter " +
+                  std::to_string(robUnresolvedCtrl) + " != recount " +
+                  std::to_string(unresolved));
+    unsigned fq_res = 0;
+    for (const FetchedInst &f : fetchQueue)
+        fq_res += f.resolvable ? 1 : 0;
+    if (fq_res != fqResolvable)
+        auditFail("fetch-queue resolvable counter " +
+                  std::to_string(fqResolvable) + " != recount " +
+                  std::to_string(fq_res));
+
+    // Ready-set completeness: any entry whose brute issue evaluation
+    // would currently want execution — or that is polling toward a
+    // wake-less transition (an NME entry waiting only on operand
+    // finality) — must be a member (the set may hold a conservative
+    // superset; the scan re-filters). Control-set membership is
+    // exact: unresolved resolvable control, both ways.
+    const char *bad = nullptr;
+    forEachInOrder([&](int slot) {
+        const RobEntry &e = at(slot);
+        if (e.needsExec && !e.inFlight && !e.finalized) {
+            bool all_avail = true;
+            OperandView v[2];
+            for (int k = 0; k < 2; ++k) {
+                v[k] = operandView(slot, k, curCycle);
+                all_avail = all_avail && v[k].avail;
+            }
+            bool arl = e.isLd && e.memAddrKnown &&
+                       (e.addrReused || e.addrPredicted);
+            if (all_avail || arl) {
+                bool need;
+                if (!e.executedOnce) {
+                    need = true;
+                } else {
+                    bool changed = v[0].value != e.usedVals[0] ||
+                                   v[1].value != e.usedVals[1];
+                    bool addr_stale = e.isLd && all_avail &&
+                                      e.curMemAddr !=
+                                          e.exec.out.memAddr;
+                    if (!changed && !addr_stale)
+                        need = false;
+                    else if (params.reexec == ReexecPolicy::Multiple ||
+                             addr_stale)
+                        need = true;
+                    else // NME: membership persists until the single
+                         // final re-execution happens (the finality
+                         // flip that enables it has no wake)
+                        need = e.execCount < 2;
+                }
+                if (need && !readySet.test(slot))
+                    bad = "actionable entry missing from the ready set";
+            }
+        }
+        bool unres = e.isCtrl && e.resolvable && !e.finalActionDone;
+        if (unres != ctrlSet.test(slot))
+            bad = unres ? "unresolved control missing from the "
+                          "control set"
+                        : "resolved control left in the control set";
+        return bad == nullptr;
+    });
+    if (bad)
+        auditFail(bad);
+
+    // Finalize-candidate completeness: anything the brute finalize
+    // walk would finalize right now must be a candidate. In Brute no
+    // parking happens, so the stronger invariant holds: every
+    // completed-unfinalized entry is a candidate.
+    forEachInOrder([&](int slot) {
+        const RobEntry &e = at(slot);
+        if (!e.needsExec || !e.executedOnce || e.inFlight ||
+            e.finalized || finalCand.test(slot)) {
+            return true;
+        }
+        if (schedMode == SchedMode::Brute) {
+            bad = "completed entry missing from the finalize-candidate "
+                  "set";
+            return false;
+        }
+        bool ops_final = true;
+        for (int k = 0; k < 2; ++k)
+            ops_final = ops_final &&
+                        operandView(slot, k, curCycle).final;
+        if (ops_final && e.usedVals[0] == e.exec.srcVals[0] &&
+            e.usedVals[1] == e.exec.srcVals[1] &&
+            !(e.isLd && e.curMemAddr != e.exec.out.memAddr)) {
+            bad = "finalizable entry missing from the "
+                  "finalize-candidate set";
+        }
+        return bad == nullptr;
+    });
+    if (bad)
+        auditFail(bad);
+
+    // Set members must be live entries still eligible for their set.
+    // In-flight members are allowed: a wake landing mid-flight leaves
+    // the entry in the set so the post-completion scan re-evaluates
+    // it (the scan filters in-flight entries without erasing).
+    readySet.forEach([&](int slot) {
+        const RobEntry &e = at(slot);
+        if (!e.valid || !e.needsExec || e.finalized)
+            bad = "stale ready-set member";
+        return bad == nullptr;
+    });
+    if (bad)
+        auditFail(bad);
+    ctrlSet.forEach([&](int slot) {
+        if (!at(slot).valid)
+            bad = "control-set member references a dead slot";
+        return bad == nullptr;
+    });
+    if (bad)
+        auditFail(bad);
+    finalCand.forEach([&](int slot) {
+        const RobEntry &e = at(slot);
+        if (!e.valid || !e.needsExec || !e.executedOnce ||
+            e.inFlight || e.finalized) {
+            bad = "stale finalize-candidate member";
+        }
+        return bad == nullptr;
+    });
+    if (bad)
+        auditFail(bad);
+
+    // Waiter discipline: operand links are persistent — every operand
+    // with a live in-window producer is linked until the consumer
+    // finalizes (or dies) or the producer commits; availSeen mirrors
+    // the operand view's availability, and pendingOps counts exactly
+    // the not-yet-seen links. Finalize-waiter nodes park on a live,
+    // not-yet-finalized producer and agree with the source ref.
+    size_t in_flight = 0;
+    forEachInOrder([&](int slot) {
+        const RobEntry &e = at(slot);
+        if (e.inFlight)
+            ++in_flight;
+        int pend = 0;
+        for (int k = 0; k < 2; ++k) {
+            const OpWaiter &w = waiters[slot * 2 + k];
+            bool should_link = e.needsExec && !e.finalized &&
+                               e.srcReg[k] != REG_INVALID &&
+                               refAlive(e.srcRob[k]);
+            if (w.prodSlot < 0) {
+                if (should_link)
+                    bad = "unlinked operand with a live producer";
+                continue;
+            }
+            if (!should_link) {
+                bad = "waiter link outlived its producer or consumer";
+            } else if (e.srcRob[k].slot != w.prodSlot) {
+                bad = "waiter link disagrees with the source ref";
+            } else if (w.availSeen !=
+                       operandView(slot, k, curCycle).avail) {
+                bad = "waiter availSeen disagrees with the operand "
+                      "view";
+            }
+            if (!w.availSeen)
+                ++pend;
+
+            const OpWaiter &fw = finWaiters[slot * 2 + k];
+            if (fw.prodSlot >= 0) {
+                if (!at(fw.prodSlot).valid ||
+                    at(fw.prodSlot).finalized) {
+                    bad = "finalize waiter parked on a dead or "
+                          "finalized producer";
+                } else if (e.srcRob[k].slot != fw.prodSlot ||
+                           !refAlive(e.srcRob[k])) {
+                    bad = "finalize-waiter link disagrees with the "
+                          "source ref";
+                }
+            }
+        }
+        if (!bad && e.needsExec && !e.finalized && pend != e.pendingOps)
+            bad = "pendingOps disagrees with the unseen waiter count";
+        return bad == nullptr;
+    });
+    if (bad)
+        auditFail(bad);
+
+    // Every in-flight entry scheduled a completion event (stale events
+    // from squashed incarnations may pad the wheel; pop validates).
+    if (schedMode != SchedMode::Brute && wheel.size() < in_flight)
+        auditFail("fewer wheel events than in-flight instructions");
 }
 
 // ---------------------------------------------------------------- run
@@ -1504,14 +2198,40 @@ Core::cycle()
         return false;
     ckptBoundary = false;
     dcachePortsUsed = 0;
+    // Per-cycle scheduler scratch: wake hints accumulate across the
+    // stages below; cycleHadWork latches any observable activity and
+    // vetoes the idle skip.
+    schedWake = UINT64_MAX;
+    cycleHadWork = false;
+    ++prof.cyclesRun;
+    namespace chr = std::chrono;
+    chr::steady_clock::time_point t0;
+    auto lap = [&](uint64_t &acc) {
+        chr::steady_clock::time_point t1 = chr::steady_clock::now();
+        acc += static_cast<uint64_t>(
+            chr::duration_cast<chr::nanoseconds>(t1 - t0).count());
+        t0 = t1;
+    };
+    if (prof.enabled)
+        t0 = chr::steady_clock::now();
     processCompletions();
     finalizeScan();
     resolveControl();
+    if (prof.enabled)
+        lap(prof.executeNs);
     commitStage();
+    if (prof.enabled)
+        lap(prof.commitNs);
     if (!done) {
         issueStage();
+        if (prof.enabled)
+            lap(prof.issueNs);
         dispatchStage();
+        if (prof.enabled)
+            lap(prof.dispatchNs);
         fetchStage();
+        if (prof.enabled)
+            lap(prof.fetchNs);
     }
     // Checkpoint drain schedule: a pure function of commit progress.
     // Crossing the threshold gates fetch; the pipeline then empties
@@ -1546,6 +2266,34 @@ Core::cycle()
     if ((curCycle & 0x3fff) == 0 && cellDeadlineExpired())
         panic("cell wall-clock deadline exceeded "
               "(VPIR_CELL_TIMEOUT_MS)");
+    // Idle-cycle skipping (event-driven mode only): when nothing
+    // observable happened this cycle, jump to the cycle before the
+    // next possible action — the earliest wheel event or wake hint —
+    // never past the watchdog trip, the planted audit clobber, the
+    // next deadline-poll cycle, or the maxCycles budget. Skipped
+    // cycles still count toward st.cycles, so every cycle-derived
+    // observable matches the brute-force scheduler exactly.
+    if (schedMode == SchedMode::Fast && !done && !cycleHadWork &&
+        !ckptBoundary) {
+        uint64_t target =
+            std::min(schedWake, wheel.nextEventAt(curCycle));
+        if (params.watchdogCycles)
+            target = std::min(target,
+                              lastCommitCycle + params.watchdogCycles);
+        if (auditClobberCycle > curCycle)
+            target = std::min(target, auditClobberCycle);
+        if (cellDeadlineArmed())
+            target = std::min(target, (curCycle | 0x3fff) + 1);
+        uint64_t room = params.maxCycles - st.cycles; // >= 1 here
+        uint64_t delta = 0;
+        if (target == UINT64_MAX)
+            delta = room - 1; // nothing pending: sprint to the budget
+        else if (target > curCycle + 1)
+            delta = std::min(target - curCycle - 1, room - 1);
+        curCycle += delta;
+        st.cycles += delta;
+        prof.idleSkippedCycles += delta;
+    }
     ++curCycle;
     ++st.cycles;
     if (st.cycles >= params.maxCycles)
@@ -1681,6 +2429,16 @@ Core::restoreCheckpoint(CkptReader &r)
     storeAddrPrefix = 0;
     orderList.clear();
     orderHead = 0;
+    readySet.clear();
+    ctrlSet.clear();
+    finalCand.clear();
+    wheel.clear();
+    waiters.assign(waiters.size(), OpWaiter{});
+    finWaiters.assign(finWaiters.size(), OpWaiter{});
+    robUnresolvedCtrl = 0;
+    fqResolvable = 0;
+    schedWake = UINT64_MAX;
+    cycleHadWork = false;
     for (RobRef &p : regProducer)
         p = RobRef{};
     dcachePortsUsed = 0;

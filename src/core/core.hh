@@ -26,8 +26,11 @@
 #include "bpred/bpred.hh"
 #include "check/checker.hh"
 #include "check/fault.hh"
+#include "common/event_wheel.hh"
 #include "common/ring.hh"
+#include "common/slot_set.hh"
 #include "core/core_stats.hh"
+#include "core/sched_profile.hh"
 #include "core/fu_pool.hh"
 #include "core/params.hh"
 #include "emu/executor.hh"
@@ -134,6 +137,18 @@ struct RobEntry
     bool storeAddrReady = false; //!< AGEN done (for disambiguation)
 
     bool isHalt = false;
+
+    // Incremental-scheduler state (see DESIGN.md §13).
+    /** Operands still waiting on a live producer's first publication;
+     *  reaching zero moves the entry into the ready set. */
+    int pendingOps = 0;
+    /** Head of this entry's value-waiter list (consumers linked for
+     *  publication wakeups), as an index into Core::waiters; -1 when
+     *  empty. */
+    int waiterHead = -1;
+    /** Head of this entry's finalize-waiter list (consumers parked
+     *  until this entry finalizes), indexing Core::finWaiters. */
+    int finWaiterHead = -1;
 };
 
 /** Load/store queue entry. */
@@ -210,6 +225,9 @@ class Core
     bool restoreCheckpoint(CkptReader &r);
 
     const CoreStats &stats() const { return st; }
+    /** Per-stage cycle profile (VPIR_PROFILE=1; idle-skip counter is
+     *  always live). Host-dependent — never part of CoreStats. */
+    const SchedProfile &schedProfile() const { return prof; }
     uint64_t now() const { return curCycle; }
     /** Highest dynamic sequence number handed out so far. */
     uint64_t seqAllocated() const { return nextSeq - 1; }
@@ -285,6 +303,45 @@ class Core
     void tryDispatchPredict(int slot);
     bool loadMayAccess(int slot, bool &forward, RobRef &conflict) const;
     void insertIntoRb(int slot);
+
+    // --- incremental scheduling (DESIGN.md §13) ---------------------
+    /** Register the freshly dispatched entry with the scheduler:
+     *  waiter links for unavailable operands, ready-set membership,
+     *  control-set membership, unresolved-branch counter. */
+    void schedOnDispatch(int slot);
+    /** Link consumer operand (@p cslot, @p k) into @p pslot's waiter
+     *  list. */
+    void linkWaiter(int cslot, int k, int pslot);
+    /** Unlink consumer operand (@p cslot, @p k) from wherever it is
+     *  linked; no-op when unlinked. */
+    void unlinkWaiter(int cslot, int k);
+    /** Producer @p prodSlot just published: re-check its waiters and
+     *  move newly unblocked consumers into the ready set. */
+    void wakeWaiters(int prodSlot);
+    /** Park consumer operand (@p cslot, @p k) on @p pslot's
+     *  finalize-waiter list (woken when the producer finalizes). */
+    void linkFinWaiter(int cslot, int k, int pslot);
+    /** Unlink (@p cslot, @p k) from its finalize-waiter list; no-op
+     *  when unlinked. */
+    void unlinkFinWaiter(int cslot, int k);
+    /** Schedule a finalize-recheck event for @p slot at @p at. */
+    void scheduleRefinal(int slot, uint64_t at);
+    /** Mark @p e resolved for the fetch-side branch cap, keeping the
+     *  unresolved-control counter in step. */
+    void noteResolvedForFetch(RobEntry &e);
+    /** Members of @p s in program (sequence) order, into @p out. */
+    void collectInOrder(const SlotSet &s, std::vector<int> &out) const;
+    /** Record a cycle at which a time gate opens (idle-skip bound). */
+    void
+    noteWake(uint64_t at) const
+    {
+        if (at < schedWake)
+            schedWake = at;
+    }
+    /** Scheduler-structure audit (ready/control sets, waiter links,
+    *   counters vs brute-force recomputation). */
+    void auditSched() const;
+
     void recordCommitStats(RobEntry &e);
     void trainPredictors(RobEntry &e);
     void checkRetired(const RobEntry &e);
@@ -330,6 +387,75 @@ class Core
      */
     std::vector<int> orderList;
     size_t orderHead = 0;
+
+    // --- incremental scheduler (DESIGN.md §13) ----------------------
+    /** How issue/complete/finalize/resolve find their candidates.
+     *  Fast uses the ready set + event wheel + idle-cycle skipping;
+     *  Brute runs the legacy full scans (perf baseline, and the
+     *  reference the fast path must match byte-for-byte); Xcheck
+     *  takes fast-path decisions while re-running the brute scans
+     *  each cycle and asserting agreement (no idle skipping, so every
+     *  cycle is checked). Env-selected (VPIR_SCHED_XCHECK wins over
+     *  VPIR_SCHED_BRUTE), never a CoreParams field: cell hashes,
+     *  caches, and stdout stay identical across modes. */
+    enum class SchedMode { Fast, Brute, Xcheck };
+    SchedMode schedMode = SchedMode::Fast;
+    /** Slots that might issue: operands plausibly ready, or an
+     *  addr-reused/predicted load. Conservative superset of the brute
+     *  issue scan's side-effect reachers; entries the scan finds
+     *  unactionable drop out and are re-inserted by the next relevant
+     *  wakeup (operand publication). */
+    SlotSet readySet;
+    /** Unresolved resolvable control entries (resolution candidates);
+     *  emptied per entry once its final action is done. */
+    SlotSet ctrlSet;
+    /** Finalize candidates: completed entries whose finalize check is
+     *  worth running. A failed check parks the entry — on a
+     *  producer's finalize-waiter list, or on a timed wheel recheck —
+     *  instead of polling (Fast/Xcheck; Brute keeps the entry in and
+     *  polls nothing since it walks the window anyway). */
+    SlotSet finalCand;
+    /** Completion + finalize-recheck events keyed by due cycle. Fed
+     *  in Fast/Xcheck; Brute keeps it empty and scans instead. */
+    EventWheel wheel;
+    /** Waiter node per (consumer slot, operand): doubly linked into
+     *  the producer's RobEntry::waiterHead list. Node id is
+     *  slot * 2 + k; prodSlot < 0 means unlinked. Links persist from
+     *  dispatch until the consumer finalizes (or dies) or the
+     *  producer commits: every publication by the producer re-wakes
+     *  the consumer into the ready set, which is what lets the issue
+     *  scan drop quiescent entries without missing a re-execution. */
+    struct OpWaiter
+    {
+        int prev = -1;
+        int next = -1;
+        int prodSlot = -1;
+        /** The operand has been seen available (pendingOps was
+         *  decremented for it); availability is monotone per ROB
+         *  incarnation. */
+        bool availSeen = false;
+    };
+    std::vector<OpWaiter> waiters;
+    /** Finalize-waiter nodes, same shape and id scheme as waiters
+     *  (availSeen unused): consumer (slot, k) parked on the
+     *  producer's RobEntry::finWaiterHead until it finalizes. */
+    std::vector<OpWaiter> finWaiters;
+    /** Live counts replacing unresolvedBranches()'s full walks. */
+    unsigned robUnresolvedCtrl = 0;
+    unsigned fqResolvable = 0;
+    /** Earliest cycle any time gate evaluated this cycle could open
+     *  (producer finalizeAt, fetch stall end, commit-head wait);
+     *  bounds the idle skip. Reset each cycle; mutable because const
+     *  evaluation paths (operandView) record hints. */
+    mutable uint64_t schedWake = UINT64_MAX;
+    /** Any state mutation this cycle? Idle skipping requires none. */
+    bool cycleHadWork = false;
+    /** Scratch for candidate collection (no per-cycle allocation). */
+    std::vector<int> schedScratch;
+    std::vector<WheelEvent> dueScratch;
+    std::vector<int> xcheckScratch;
+    SchedProfile prof;
+
     std::vector<RobEntry> rob;
     int robHead = 0;
     int robTail = 0; //!< next free slot

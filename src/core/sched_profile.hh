@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Per-stage cycle profiler (VPIR_PROFILE=1).
+ *
+ * Wall-clock time spent inside each pipeline stage of Core::cycle,
+ * plus how many cycles ran versus were skipped by the idle-cycle
+ * fast-forward. Lives outside CoreStats on purpose: the nanosecond
+ * fields are host-dependent and idleSkippedCycles differs between the
+ * event-driven and brute-force schedulers, so folding them into the
+ * deterministic stats block would break stats byte-identity, the
+ * result-cache fingerprint, and checkpoint round-trips. The sweep
+ * engine carries the profile through the fork wire protocol as plain
+ * integers and emits it per cell into bench_timing.*.json.
+ */
+
+#ifndef VPIR_CORE_SCHED_PROFILE_HH
+#define VPIR_CORE_SCHED_PROFILE_HH
+
+#include <cstdint>
+
+namespace vpir
+{
+
+struct SchedProfile
+{
+    uint64_t fetchNs = 0;
+    uint64_t dispatchNs = 0;
+    uint64_t issueNs = 0;
+    /** Completion + finalize + control-resolution walks. */
+    uint64_t executeNs = 0;
+    uint64_t commitNs = 0;
+    /** Cycles the simulator actually stepped through. */
+    uint64_t cyclesRun = 0;
+    /** Cycles fast-forwarded by the idle skipper (always counted,
+     *  even when nanosecond timing is off). */
+    uint64_t idleSkippedCycles = 0;
+    /** True when VPIR_PROFILE=1 armed nanosecond timing. */
+    bool enabled = false;
+};
+
+/** Visit every integer field with its JSON/wire name; keeps the fork
+ *  wire protocol and the timing-JSON emitter on one field list. */
+template <typename P, typename F>
+void
+forEachProfileField(P &p, F f)
+{
+    f("fetch_ns", p.fetchNs);
+    f("dispatch_ns", p.dispatchNs);
+    f("issue_ns", p.issueNs);
+    f("execute_ns", p.executeNs);
+    f("commit_ns", p.commitNs);
+    f("cycles_run", p.cyclesRun);
+    f("idle_skipped_cycles", p.idleSkippedCycles);
+}
+
+} // namespace vpir
+
+#endif // VPIR_CORE_SCHED_PROFILE_HH

@@ -146,6 +146,7 @@ computeCellOnce(const SweepCell &cell, uint64_t timeout_ms,
             sim, ckptConfigFromEnv(cell.params.ckptInsts), id,
             allow_resume);
         out.stats = sim.stats();
+        out.profile = sim.core().schedProfile();
         out.ckptStopped = cr.stopped;
         out.ckptResumed = cr.resumed;
         out.ckptWritten = cr.checkpointsWritten;
@@ -274,6 +275,15 @@ encodeOutcome(const CellOutcome &out)
     s += "  \"ckpt_resumed\": " +
          std::to_string(out.ckptResumed ? 1 : 0) + ",\n";
     s += "  \"ckpt_written\": " + std::to_string(out.ckptWritten) + ",\n";
+    // The scheduler profile travels as prof_-prefixed integers (the
+    // prefix keeps extractU64 needles from colliding with stats keys).
+    s += "  \"prof_enabled\": " +
+         std::to_string(out.profile.enabled ? 1 : 0) + ",\n";
+    forEachProfileField(out.profile,
+                        [&s](const char *name, const uint64_t &v) {
+                            s += "  \"prof_" + std::string(name) +
+                                 "\": " + std::to_string(v) + ",\n";
+                        });
     s += "  \"input\": \"" + jsonEscape(out.workloadInput) + "\",\n";
     s += "  \"error\": \"" + jsonEscape(out.error) + "\",\n";
     s += "  \"stats\": " + statsToJson(out.stats) + "\n}\n";
@@ -299,6 +309,17 @@ decodeOutcome(const std::string &text, CellOutcome &out)
         !extractString(text, "input", tmp.workloadInput) ||
         !extractString(text, "error", tmp.error))
         return false;
+    uint64_t prof_enabled = 0;
+    bool prof_ok = extractU64(text, "prof_enabled", prof_enabled);
+    forEachProfileField(tmp.profile,
+                        [&](const char *name, uint64_t &v) {
+                            std::string key = "prof_" + std::string(name);
+                            prof_ok = prof_ok &&
+                                      extractU64(text, key.c_str(), v);
+                        });
+    if (!prof_ok)
+        return false;
+    tmp.profile.enabled = prof_enabled != 0;
     size_t spos = text.find("\"stats\":");
     if (spos == std::string::npos ||
         !statsFromJson(text.substr(spos), tmp.stats))

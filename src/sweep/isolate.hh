@@ -40,6 +40,7 @@
 #include <string>
 
 #include "core/core_stats.hh"
+#include "core/sched_profile.hh"
 
 namespace vpir
 {
@@ -91,6 +92,11 @@ struct CellOutcome
     double runSeconds = 0.0;    //!< timed simulation proper
     bool asmBuilt = false;      //!< this attempt assembled the program
     bool warmBuilt = false;     //!< this attempt executed the warmup
+
+    /** Per-stage cycle profile of this attempt (core/sched_profile.hh).
+     *  Host-dependent, so it rides next to the phase timings rather
+     *  than inside the deterministic stats block. */
+    SchedProfile profile;
 };
 
 /**

@@ -471,6 +471,7 @@ SweepEngine::runRecord(Record &rec)
         rec.error = std::move(out.error);
         rec.setupSeconds = out.setupSeconds;
         rec.runSeconds = out.runSeconds;
+        rec.profile = out.profile;
         rec.ckptResumed = out.ckptResumed;
         rec.ckptWritten = out.ckptWritten;
         // Attribute a parent-side prewarm build to this cell: the cell
@@ -628,6 +629,7 @@ SweepEngine::timings() const
         t.attempts = r->attempts > 0 ? r->attempts : 1;
         t.ckptResumed = r->ckptResumed;
         t.ckptWritten = r->ckptWritten;
+        t.profile = r->profile;
         out.push_back(std::move(t));
     }
     return out;
@@ -699,7 +701,7 @@ SweepEngine::writeTimingJson(const std::string &path) const
     std::vector<CellTiming> ts = timings();
     double wall = sweepWallSeconds();
     double cpu = 0.0, setup = 0.0, run = 0.0;
-    uint64_t insts = 0;
+    uint64_t insts = 0, exec_insts = 0;
     size_t disk_hits = 0, assembled = 0, warmed = 0;
     for (const CellTiming &t : ts) {
         cpu += t.wallSeconds;
@@ -708,6 +710,8 @@ SweepEngine::writeTimingJson(const std::string &path) const
         insts += t.committedInsts;
         if (t.fromDiskCache)
             ++disk_hits;
+        else
+            exec_insts += t.committedInsts;
         if (t.assembled)
             ++assembled;
         if (t.warmed)
@@ -719,16 +723,27 @@ SweepEngine::writeTimingJson(const std::string &path) const
     if (!out)
         return false;
     char buf[512];
+    // Aggregate MIPS measures simulation speed, so it covers only the
+    // cells this run actually simulated: a disk-cache hit contributes
+    // instructions but almost no wall time, and folding it in used to
+    // inflate the figure arbitrarily. With nothing executed there is
+    // no speed to report — "mips" is null.
+    char mips[32];
+    if (disk_hits < ts.size() && wall > 0.0)
+        std::snprintf(mips, sizeof(mips), "%.3f",
+                      static_cast<double>(exec_insts) / wall / 1e6);
+    else
+        std::snprintf(mips, sizeof(mips), "null");
     out << "{\n  \"jobs\": " << numJobs << ",\n";
     std::snprintf(buf, sizeof(buf),
                   "  \"aggregate\": {\"cells\": %zu, "
                   "\"disk_cache_hits\": %zu, \"wall_s\": %.6f, "
                   "\"cpu_s\": %.6f, \"setup_s\": %.6f, "
                   "\"run_s\": %.6f, \"insts\": %" PRIu64
-                  ", \"mips\": %.3f},\n",
+                  ", \"executed_insts\": %" PRIu64
+                  ", \"mips\": %s},\n",
                   ts.size(), disk_hits, wall, cpu, setup, run, insts,
-                  wall > 0.0 ? static_cast<double>(insts) / wall / 1e6
-                             : 0.0);
+                  exec_insts, mips);
     out << buf;
     // Process-wide warm-start counters: "builds" should equal the
     // number of distinct (workload, scale[, warmup]) keys the process
@@ -755,7 +770,7 @@ SweepEngine::writeTimingJson(const std::string &path) const
                       ", \"mips\": %.3f, \"disk_cache\": %s, "
                       "\"assembled\": %s, \"warmed\": %s, "
                       "\"attempts\": %d, \"ckpt_resumed\": %s, "
-                      "\"ckpt_written\": %" PRIu64 "}%s\n",
+                      "\"ckpt_written\": %" PRIu64,
                       t.workload.c_str(), t.label.c_str(), t.paramsHash,
                       t.wallSeconds, t.setupSeconds, t.runSeconds,
                       t.committedInsts, t.mips(),
@@ -764,9 +779,20 @@ SweepEngine::writeTimingJson(const std::string &path) const
                       t.warmed ? "true" : "false",
                       t.attempts,
                       t.ckptResumed ? "true" : "false",
-                      t.ckptWritten,
-                      i + 1 < ts.size() ? "," : "");
+                      t.ckptWritten);
         out << buf;
+        if (t.profile.enabled) {
+            out << ", \"profile\": {";
+            bool first = true;
+            forEachProfileField(
+                t.profile, [&](const char *name, const uint64_t &v) {
+                    out << (first ? "" : ", ") << '"' << name
+                        << "\": " << v;
+                    first = false;
+                });
+            out << '}';
+        }
+        out << (i + 1 < ts.size() ? "},\n" : "}\n");
     }
     out << "  ]\n}\n";
     return out.good();
@@ -778,22 +804,36 @@ SweepEngine::printSummary(std::FILE *out) const
     std::vector<CellTiming> ts = timings();
     double wall = sweepWallSeconds();
     double cpu = 0.0;
-    uint64_t insts = 0;
+    uint64_t insts = 0, exec_insts = 0;
     size_t disk_hits = 0;
     for (const CellTiming &t : ts) {
         cpu += t.wallSeconds;
         insts += t.committedInsts;
         if (t.fromDiskCache)
             ++disk_hits;
+        else
+            exec_insts += t.committedInsts;
     }
-    std::fprintf(
-        out,
-        "[sweep] %zu cells (%zu from disk cache), jobs=%u: "
-        "wall %.2fs, cpu %.2fs, %.2fM insts simulated, "
-        "aggregate %.2f MIPS\n",
-        ts.size(), disk_hits, numJobs, wall, cpu,
-        static_cast<double>(insts) / 1e6,
-        wall > 0.0 ? static_cast<double>(insts) / wall / 1e6 : 0.0);
+    // Like the JSON aggregate: MIPS over executed cells only; a
+    // fully-cached run has no simulation speed to report.
+    if (disk_hits < ts.size() && wall > 0.0) {
+        std::fprintf(
+            out,
+            "[sweep] %zu cells (%zu from disk cache), jobs=%u: "
+            "wall %.2fs, cpu %.2fs, %.2fM insts simulated, "
+            "aggregate %.2f MIPS\n",
+            ts.size(), disk_hits, numJobs, wall, cpu,
+            static_cast<double>(insts) / 1e6,
+            static_cast<double>(exec_insts) / wall / 1e6);
+    } else {
+        std::fprintf(
+            out,
+            "[sweep] %zu cells (%zu from disk cache), jobs=%u: "
+            "wall %.2fs, cpu %.2fs, %.2fM insts simulated, "
+            "aggregate n/a MIPS (no cell executed)\n",
+            ts.size(), disk_hits, numJobs, wall, cpu,
+            static_cast<double>(insts) / 1e6);
+    }
     WarmStartCache::Counters wc = WarmStartCache::global().counters();
     if (wc.programBuilds + wc.programHits + wc.snapshotBuilds +
         wc.snapshotHits > 0) {

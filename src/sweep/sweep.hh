@@ -129,6 +129,10 @@ struct CellTiming
     bool ckptResumed = false;
     uint64_t ckptWritten = 0;
 
+    /** Per-stage cycle profile (VPIR_PROFILE=1; zeroed for disk-cache
+     *  hits). Emitted per cell into the timing JSON when enabled. */
+    SchedProfile profile;
+
     double
     mips() const
     {
@@ -245,6 +249,7 @@ class SweepEngine
         uint64_t ckptWritten = 0; //!< checkpoints persisted
         int attempts = 0;
         std::string error;    //!< failure message, context included
+        SchedProfile profile; //!< per-stage cycle profile (host side)
     };
 
     void runRecord(Record &rec); //!< compute (or disk-load) one cell

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * EventWheel unit tests: bucket wraparound (two laps sharing a
+ * bucket), far-heap migration into the near wheel, exact-cycle
+ * popDue filtering, nextEventAt bounds, event-kind round-tripping,
+ * and the schedule-in-the-past assertion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/event_wheel.hh"
+#include "common/logging.hh"
+
+using namespace vpir;
+
+namespace
+{
+
+WheelEvent
+ev(uint64_t at, int slot = 0, uint64_t seq = 0,
+   WheelEvent::Kind kind = WheelEvent::Kind::Complete)
+{
+    WheelEvent e;
+    e.at = at;
+    e.slot = slot;
+    e.seq = seq;
+    e.kind = kind;
+    return e;
+}
+
+std::vector<WheelEvent>
+popAll(EventWheel &w, uint64_t now)
+{
+    std::vector<WheelEvent> out;
+    w.popDue(now, out);
+    return out;
+}
+
+TEST(EventWheel, PopsExactlyAtDueCycle)
+{
+    EventWheel w;
+    w.schedule(ev(5, 1), 0);
+    w.schedule(ev(7, 2), 0);
+    EXPECT_EQ(w.size(), 2u);
+
+    EXPECT_TRUE(popAll(w, 4).empty());
+    std::vector<WheelEvent> due = popAll(w, 5);
+    ASSERT_EQ(due.size(), 1u);
+    EXPECT_EQ(due[0].slot, 1);
+    EXPECT_EQ(w.size(), 1u);
+
+    EXPECT_TRUE(popAll(w, 6).empty());
+    due = popAll(w, 7);
+    ASSERT_EQ(due.size(), 1u);
+    EXPECT_EQ(due[0].slot, 2);
+    EXPECT_TRUE(w.empty());
+}
+
+TEST(EventWheel, TwoLapsShareABucketWithoutCrosstalk)
+{
+    // at and at + WHEEL_SPAN map to the same bucket index. Schedule
+    // the later lap from a later `now` so both land in the near wheel
+    // simultaneously; popDue must take only the exact-cycle lap and
+    // leave the other for its own revolution.
+    constexpr uint64_t SPAN = EventWheel::WHEEL_SPAN;
+    EventWheel w;
+    w.schedule(ev(9, 1), 0);
+    w.schedule(ev(9 + SPAN, 2), 20); // delta < SPAN: same bucket as 9
+
+    std::vector<WheelEvent> due = popAll(w, 9);
+    ASSERT_EQ(due.size(), 1u);
+    EXPECT_EQ(due[0].slot, 1);
+    EXPECT_EQ(w.size(), 1u); // the later lap survived the pop
+
+    EXPECT_TRUE(popAll(w, 9 + SPAN - 1).empty());
+    due = popAll(w, 9 + SPAN);
+    ASSERT_EQ(due.size(), 1u);
+    EXPECT_EQ(due[0].slot, 2);
+    EXPECT_TRUE(w.empty());
+}
+
+TEST(EventWheel, FarEventsMigrateAndPopOnTime)
+{
+    // Far beyond the near span: the event waits in the heap and must
+    // still pop at exactly its due cycle after migration.
+    constexpr uint64_t SPAN = EventWheel::WHEEL_SPAN;
+    EventWheel w;
+    w.schedule(ev(3 * SPAN + 17, 1), 0);
+    w.schedule(ev(5 * SPAN + 4, 2), 0);
+    EXPECT_EQ(w.nextEventAt(0), 3 * SPAN + 17);
+
+    // Sweep every cycle; events must appear exactly once, on time.
+    std::vector<uint64_t> seen;
+    for (uint64_t now = 0; now <= 5 * SPAN + 4; ++now) {
+        for (const WheelEvent &e : popAll(w, now)) {
+            EXPECT_EQ(e.at, now);
+            seen.push_back(e.at);
+        }
+    }
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0], 3 * SPAN + 17);
+    EXPECT_EQ(seen[1], 5 * SPAN + 4);
+    EXPECT_TRUE(w.empty());
+}
+
+TEST(EventWheel, NextEventAtFindsEarliestAcrossNearAndFar)
+{
+    constexpr uint64_t SPAN = EventWheel::WHEEL_SPAN;
+    EventWheel w;
+    EXPECT_EQ(w.nextEventAt(0), UINT64_MAX);
+
+    w.schedule(ev(2 * SPAN + 1, 1), 0); // far
+    EXPECT_EQ(w.nextEventAt(0), 2 * SPAN + 1);
+
+    w.schedule(ev(40, 2), 0); // near, beats the far event
+    EXPECT_EQ(w.nextEventAt(0), 40u);
+    EXPECT_EQ(w.nextEventAt(40), 40u); // due right now
+
+    (void)popAll(w, 40);
+    EXPECT_EQ(w.nextEventAt(41), 2 * SPAN + 1);
+}
+
+TEST(EventWheel, KindSurvivesScheduleAndPop)
+{
+    constexpr uint64_t SPAN = EventWheel::WHEEL_SPAN;
+    EventWheel w;
+    w.schedule(ev(6, 1, 11, WheelEvent::Kind::Refinal), 0);
+    w.schedule(ev(SPAN + 6, 2, 22, WheelEvent::Kind::Complete), 0);
+
+    std::vector<WheelEvent> due = popAll(w, 6);
+    ASSERT_EQ(due.size(), 1u);
+    EXPECT_EQ(due[0].kind, WheelEvent::Kind::Refinal);
+    EXPECT_EQ(due[0].seq, 11u);
+
+    for (uint64_t now = 7; now < SPAN + 6; ++now)
+        EXPECT_TRUE(popAll(w, now).empty());
+    due = popAll(w, SPAN + 6);
+    ASSERT_EQ(due.size(), 1u);
+    EXPECT_EQ(due[0].kind, WheelEvent::Kind::Complete);
+    EXPECT_EQ(due[0].seq, 22u);
+}
+
+TEST(EventWheel, ClearEmptiesBothStructures)
+{
+    constexpr uint64_t SPAN = EventWheel::WHEEL_SPAN;
+    EventWheel w;
+    w.schedule(ev(3, 1), 0);
+    w.schedule(ev(4 * SPAN, 2), 0);
+    EXPECT_EQ(w.size(), 2u);
+    w.clear();
+    EXPECT_TRUE(w.empty());
+    EXPECT_EQ(w.nextEventAt(0), UINT64_MAX);
+    EXPECT_TRUE(popAll(w, 3).empty());
+}
+
+TEST(EventWheel, SchedulingInThePastPanics)
+{
+    EventWheel w;
+    PanicThrowScope scope;
+    EXPECT_THROW(w.schedule(ev(5), 6), SimError);
+}
+
+} // anonymous namespace

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Event-driven scheduler equivalence tests. The core keeps a ready
+ * set, finalize-candidate set, and completion wheel incrementally;
+ * VPIR_SCHED_BRUTE=1 swaps back the original full-window scans and
+ * VPIR_SCHED_XCHECK=1 runs both, asserting identical decisions every
+ * cycle. These tests drive all three modes through every technique
+ * mix and through the squash/fault storms that stress the structure
+ * restoration paths, requiring bit-identical architectural stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "sim/simulator.hh"
+#include "stats/stats.hh"
+
+using namespace vpir;
+
+namespace
+{
+
+/** setenv/unsetenv for the test's scope (the core reads the
+ *  scheduler-mode knobs at construction). */
+class EnvGuard
+{
+  public:
+    EnvGuard(const char *name, const std::string &value) : name_(name)
+    {
+        setenv(name, value.c_str(), 1);
+    }
+    ~EnvGuard() { unsetenv(name_); }
+
+  private:
+    const char *name_;
+};
+
+constexpr uint64_t TEST_INSTS = 25000;
+
+WorkloadScale
+smallScale()
+{
+    WorkloadScale sc;
+    sc.factor = 0.25;
+    return sc;
+}
+
+std::string
+statsDump(const std::string &workload, const CoreParams &cfg)
+{
+    CoreStats st = runWorkload(workload, withLimits(cfg, TEST_INSTS),
+                               smallScale());
+    EXPECT_GT(st.committedInsts, 0u) << workload;
+    StatSet out;
+    st.exportTo(out);
+    return out.dump();
+}
+
+/** Every architectural stat must be identical whether the scheduler
+ *  ran event-driven, brute-force, or cross-checked. */
+void
+expectModeEquivalence(const std::string &workload, const CoreParams &cfg)
+{
+    std::string fast = statsDump(workload, cfg);
+    std::string brute, xcheck;
+    {
+        EnvGuard g("VPIR_SCHED_BRUTE", "1");
+        brute = statsDump(workload, cfg);
+    }
+    {
+        EnvGuard g("VPIR_SCHED_XCHECK", "1");
+        xcheck = statsDump(workload, cfg);
+    }
+    EXPECT_EQ(fast, brute) << workload << ": fast vs brute";
+    EXPECT_EQ(fast, xcheck) << workload << ": fast vs xcheck";
+}
+
+void
+runXchecked(const std::string &workload, CoreParams cfg)
+{
+    EnvGuard g("VPIR_SCHED_XCHECK", "1");
+    // The audit recomputes every scheduler structure from scratch each
+    // cycle, so arm it too: xcheck catches wrong decisions, the audit
+    // catches silently corrupt bookkeeping behind right decisions.
+    cfg.auditInvariants = true;
+    CoreStats st = runWorkload(workload, withLimits(cfg, TEST_INSTS),
+                               smallScale());
+    EXPECT_GT(st.committedInsts, 0u) << workload;
+}
+
+CoreParams
+noCaches(CoreParams p, unsigned miss_latency)
+{
+    // Single line, direct mapped: every new line pays the miss. Long
+    // misses drain the window and manufacture the idle cycles the
+    // skipper exists for.
+    p.icache = CacheParams{32, 1, 32, 1, miss_latency};
+    p.dcache = CacheParams{32, 1, 32, 1, miss_latency};
+    return p;
+}
+
+TEST(SchedEquivalence, AllTechniqueMixes)
+{
+    expectModeEquivalence("compress", baseConfig());
+    expectModeEquivalence("perl", irConfig(IrValidation::Early));
+    expectModeEquivalence("gcc", irConfig(IrValidation::Late));
+    expectModeEquivalence(
+        "gcc", vpConfig(VpScheme::Magic, ReexecPolicy::Multiple,
+                        BranchResolution::Speculative, 0));
+    expectModeEquivalence(
+        "compress", vpConfig(VpScheme::Magic, ReexecPolicy::Single,
+                             BranchResolution::NonSpeculative, 3));
+    expectModeEquivalence(
+        "m88ksim", vpConfig(VpScheme::Lvp, ReexecPolicy::Multiple,
+                            BranchResolution::NonSpeculative, 1));
+    expectModeEquivalence("perl",
+                          hybridConfig(VpScheme::Magic,
+                                       BranchResolution::Speculative, 0));
+    expectModeEquivalence("compress",
+                          hybridConfig(VpScheme::Lvp,
+                                       BranchResolution::NonSpeculative,
+                                       2));
+}
+
+TEST(SchedEquivalence, IdleHeavyRegime)
+{
+    // Disabled caches + long miss latency: most cycles are idle and
+    // the fast path skips them wholesale. Skipped cycles still count,
+    // so cycle-derived stats must match brute exactly.
+    expectModeEquivalence("compress", noCaches(baseConfig(), 40));
+    expectModeEquivalence(
+        "gcc", noCaches(vpConfig(VpScheme::Magic, ReexecPolicy::Multiple,
+                                 BranchResolution::Speculative, 0),
+                        40));
+}
+
+TEST(SchedEquivalence, IdleSkipRespectsCkptAndWatchdog)
+{
+    // The skipper must never jump past a checkpoint drain boundary or
+    // a watchdog trip cycle. Equivalence with brute (which never
+    // skips) under both features proves the skip bounds are exact.
+    CoreParams cfg = noCaches(irConfig(), 40);
+    cfg.ckptInsts = 5000;
+    cfg.watchdogCycles = 50000;
+    expectModeEquivalence("compress", cfg);
+    cfg = noCaches(baseConfig(), 60);
+    cfg.ckptInsts = 3000;
+    cfg.watchdogCycles = 20000;
+    expectModeEquivalence("m88ksim", cfg);
+}
+
+TEST(SchedXcheck, SquashStormRestoresReadySet)
+{
+    // Speculative branch resolution on wrong value predictions causes
+    // spurious squashes: every one must evict dying slots from the
+    // ready/ctrl/finalize sets and unlink their operand waiters. The
+    // per-cycle xcheck + audit pair fails fast on any leftover.
+    runXchecked("gcc", vpConfig(VpScheme::Magic, ReexecPolicy::Multiple,
+                                BranchResolution::Speculative, 0));
+    runXchecked("compress",
+                hybridConfig(VpScheme::Magic,
+                             BranchResolution::Speculative, 0));
+}
+
+TEST(SchedXcheck, FaultStormUnderVerifyLatency)
+{
+    // Injected VPT corruption drives misprediction storms while a
+    // nonzero verify latency keeps finalization pending long enough
+    // for Refinal wheel events and finalize-waiter parking to matter.
+    CoreParams cfg = vpConfig(VpScheme::Magic, ReexecPolicy::Multiple,
+                              BranchResolution::Speculative, 2);
+    cfg.faults.seed = 12345;
+    cfg.faults.vptValueRate = 0.05;
+    cfg.faults.vptConfRate = 0.02;
+    runXchecked("m88ksim", cfg);
+}
+
+TEST(SchedXcheck, TinyWindowOccupancyCorners)
+{
+    // A 16-entry ROB wraps the slot-indexed structures constantly and
+    // keeps the window full, hitting the ring-order iteration and the
+    // head-pop unlink paths far more often than a Table 1 machine.
+    CoreParams cfg = vpConfig(VpScheme::Magic, ReexecPolicy::Single,
+                              BranchResolution::NonSpeculative, 1);
+    cfg.robEntries = 16;
+    cfg.lsqEntries = 16;
+    runXchecked("compress", cfg);
+    cfg = irConfig(IrValidation::Late);
+    cfg.robEntries = 16;
+    cfg.lsqEntries = 16;
+    runXchecked("perl", cfg);
+}
+
+} // anonymous namespace

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Compare two bench_timing JSON files cell by cell.
+
+Usage: bench_compare.py BASELINE.json CURRENT.json [--threshold PCT]
+
+Cells are matched on (workload, label). For each pair the simulated
+MIPS delta is printed; cells served from the disk result cache (or
+with no throughput recorded) carry no timing signal and are skipped.
+Exits 1 when any matched cell -- or the aggregate -- regresses by
+more than the threshold (default 20%), so CI can gate on it.
+"""
+
+import argparse
+import json
+import signal
+import sys
+
+signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+
+
+def timed_cells(doc):
+    """(workload, label) -> mips, for cells that actually ran."""
+    out = {}
+    for cell in doc.get("cells", []):
+        mips = cell.get("mips")
+        if cell.get("disk_cache") or not mips:
+            continue
+        out[(cell["workload"], cell["label"])] = mips
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="diff two bench_timing JSON files")
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=20.0,
+                    help="regression threshold in percent (default 20)")
+    args = ap.parse_args()
+
+    base_doc = load(args.baseline)
+    cur_doc = load(args.current)
+    base = timed_cells(base_doc)
+    cur = timed_cells(cur_doc)
+
+    common = sorted(base.keys() & cur.keys())
+    only_base = sorted(base.keys() - cur.keys())
+    only_cur = sorted(cur.keys() - base.keys())
+    if not common:
+        sys.exit("bench_compare: no timed cells in common")
+
+    regressed = []
+    print(f"{'workload':<10} {'label':<14} {'base':>8} {'cur':>8} "
+          f"{'delta':>8}")
+    for key in common:
+        b, c = base[key], cur[key]
+        delta = 100.0 * (c - b) / b
+        flag = ""
+        if delta < -args.threshold:
+            flag = "  REGRESSED"
+            regressed.append(key)
+        print(f"{key[0]:<10} {key[1]:<14} {b:>8.3f} {c:>8.3f} "
+              f"{delta:>+7.1f}%{flag}")
+
+    for key in only_base:
+        print(f"{key[0]:<10} {key[1]:<14} only in baseline")
+    for key in only_cur:
+        print(f"{key[0]:<10} {key[1]:<14} only in current")
+
+    ab = base_doc.get("aggregate", {}).get("mips")
+    ac = cur_doc.get("aggregate", {}).get("mips")
+    agg_regressed = False
+    if ab and ac:
+        delta = 100.0 * (ac - ab) / ab
+        agg_regressed = delta < -args.threshold
+        print(f"{'aggregate':<25} {ab:>8.3f} {ac:>8.3f} {delta:>+7.1f}%"
+              f"{'  REGRESSED' if agg_regressed else ''}")
+
+    if regressed or agg_regressed:
+        n = len(regressed) + (1 if agg_regressed else 0)
+        print(f"bench_compare: {n} regression(s) beyond "
+              f"{args.threshold:.0f}%", file=sys.stderr)
+        return 1
+    print(f"bench_compare: {len(common)} cell(s) within "
+          f"{args.threshold:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

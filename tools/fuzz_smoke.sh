@@ -4,6 +4,12 @@
 # counts (the per-cell split-stream seeding makes results independent
 # of VPIR_JOBS by construction — this is the check that keeps it so).
 #
+# The same corpus then runs again with VPIR_SCHED_XCHECK=1, which
+# shadows the event-driven scheduler with the brute-force scans it
+# replaced and panics on the first diverging decision. That report
+# must be byte-for-byte identical to the fast run: the cross-checked
+# scheduler may change nothing observable.
+#
 # Usage: fuzz_smoke.sh <build-dir>
 # Knobs: VPIR_FUZZ_SEED / VPIR_FUZZ_CELLS override the fixed corpus.
 set -eu
@@ -25,5 +31,12 @@ CELLS="${VPIR_FUZZ_CELLS:-8}"
 # determinism claim.
 diff -u "$TMP/report1.txt" "$TMP/report4.txt"
 
+# Same corpus with the scheduler cross-check armed: brute-force and
+# event-driven scheduling must agree on every decision (a mismatch
+# panics the cell), and the campaign report must not change a byte.
+VPIR_SCHED_XCHECK=1 "$BIN" --seed "$SEED" --cells "$CELLS" \
+    --dir "$TMP/rx" --jobs 4 > "$TMP/report_xcheck.txt"
+diff -u "$TMP/report4.txt" "$TMP/report_xcheck.txt"
+
 echo "fuzz smoke ok: $CELLS cells clean (seed $SEED), report" \
-     "byte-identical for 1 vs 4 jobs"
+     "byte-identical for 1 vs 4 jobs and under VPIR_SCHED_XCHECK=1"

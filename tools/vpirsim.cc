@@ -268,5 +268,21 @@ main(int argc, char **argv)
                      ? static_cast<double>(st.committedInsts) / wall / 1e6
                      : 0.0,
                  cached ? " (from result cache)" : "");
+
+    // Per-stage cycle profile (VPIR_PROFILE=1), stderr like all other
+    // host-dependent timing.
+    for (const sweep::CellTiming &t : eng.timings()) {
+        if (!t.profile.enabled)
+            continue;
+        std::fprintf(stderr, "[profile] %s/%s:", t.workload.c_str(),
+                     t.label.c_str());
+        forEachProfileField(t.profile,
+                            [](const char *name, const uint64_t &v) {
+                                std::fprintf(
+                                    stderr, " %s=%llu", name,
+                                    static_cast<unsigned long long>(v));
+                            });
+        std::fprintf(stderr, "\n");
+    }
     return 0;
 }
